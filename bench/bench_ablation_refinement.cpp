@@ -1,0 +1,103 @@
+// Ablation: direct high-precision solving versus mixed-precision
+// iterative refinement (factor once in the cheap format, correct with
+// high-precision residuals).  Two views:
+//   * real host CPU wall time of the functional solvers, and
+//   * modeled device cost: one 4d QR versus one 2d QR plus a handful of
+//     residual/correction sweeps (O(n^2) each), using the Table 1 / device
+//     model pricing at the paper's dimension 1024.
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "blas/generate.hpp"
+#include "core/refinement.hpp"
+
+using namespace mdlsq;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+int main() {
+  bench::header("Ablation: direct high precision vs mixed-precision refinement");
+
+  // --- real CPU wall time at a host-friendly dimension -------------------
+  const int n = 48;
+  std::mt19937_64 gen(77);
+  auto a = blas::random_matrix<md::mdreal<4>>(n, n, gen);
+  auto want = blas::random_vector<md::mdreal<4>>(n, gen);
+  auto b = blas::gemv(a, std::span<const md::mdreal<4>>(want));
+
+  auto t0 = Clock::now();
+  auto direct = core::householder_qr(a);
+  blas::Vector<md::mdreal<4>> xd;
+  {
+    blas::Vector<md::mdreal<4>> y(n);
+    for (int j = 0; j < n; ++j) {
+      md::mdreal<4> s{};
+      for (int i = 0; i < n; ++i) s += direct.q(i, j) * b[i];
+      y[j] = s;
+    }
+    blas::Matrix<md::mdreal<4>> top(n, n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i; j < n; ++j) top(i, j) = direct.r(i, j);
+    xd = core::back_substitute(top, std::span<const md::mdreal<4>>(y));
+  }
+  const double t_direct = seconds_since(t0);
+  double err_direct = 0;
+  for (int i = 0; i < n; ++i)
+    err_direct = std::max(err_direct,
+                          std::fabs((xd[i] - want[i]).to_double()));
+
+  t0 = Clock::now();
+  auto refined = core::refined_least_squares<2, 4>(
+      a, std::span<const md::mdreal<4>>(b));
+  const double t_refined = seconds_since(t0);
+  double err_refined = 0;
+  for (int i = 0; i < n; ++i)
+    err_refined = std::max(err_refined,
+                           std::fabs((refined.x[i] - want[i]).to_double()));
+
+  std::printf("host CPU, dim %d, target quad double:\n", n);
+  std::printf("  direct 4d QR solve:      %7.3f s   max err %.2e\n",
+              t_direct, err_direct);
+  std::printf("  2d QR + %d refinements:  %7.3f s   max err %.2e  (%.1fx)\n",
+              refined.iterations, t_refined, err_refined,
+              t_direct / t_refined);
+
+  // --- modeled device cost at the paper's dimension ----------------------
+  const int dim = 1024, tile = 128;
+  auto direct4 = bench::lsq_dry(device::volta_v100(), md::Precision::d4, dim,
+                                tile);
+  auto factor2 = bench::lsq_dry(device::volta_v100(), md::Precision::d2, dim,
+                                tile);
+  // Each refinement sweep: one high-precision residual gemv (2 dim^2
+  // fma) plus one low-precision triangular solve (Q^H b + back subst,
+  // ~1.5 dim^2 fma) — price both with the kernel model.
+  using mdlsq::core::operator*;
+  md::OpTally sweep_hi = md::OpTally{.add = 1, .mul = 1} *
+                         (2LL * dim * dim);
+  md::OpTally sweep_lo = md::OpTally{.add = 1, .mul = 1} *
+                         (3LL * dim * dim / 2);
+  const int sweeps = 3;
+  const double t_hi = device::kernel_time_ms(device::volta_v100(),
+                                             md::Precision::d4, sweep_hi, 0,
+                                             dim * dim / tile, tile) * sweeps;
+  const double t_lo = device::kernel_time_ms(device::volta_v100(),
+                                             md::Precision::d2, sweep_lo, 0,
+                                             dim * dim / tile, tile) * sweeps;
+  const double refine_total = factor2.dev.kernel_ms() + t_hi + t_lo;
+  std::printf("\nmodeled V100, dim %d, target quad double:\n", dim);
+  std::printf("  direct 4d solver:        %8.1f ms\n",
+              direct4.dev.kernel_ms());
+  std::printf("  2d factor + %d sweeps:    %8.1f ms  (%.1fx cheaper)\n",
+              sweeps, refine_total, direct4.dev.kernel_ms() / refine_total);
+  std::printf(
+      "\nrefinement wins whenever kappa(A) fits in double double; the\n"
+      "stagnation guard in core/refinement.hpp detects when it does not.\n");
+  return 0;
+}

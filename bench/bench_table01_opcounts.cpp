@@ -1,0 +1,47 @@
+// Regenerates Table 1 of the paper: operational counts for double double,
+// quad double and octo double arithmetic, with the column sums, the
+// averages, and the predicted precision-doubling overhead factors quoted
+// in Sections 1.1 and 4.4.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "md/op_counts.hpp"
+
+using namespace mdlsq::md;
+
+namespace {
+void print_block(Precision p, double paper_avg) {
+  const CostTable t = cost_table(p);
+  std::printf("%s (avg %.1f, paper %.1f)\n", name_of(p), t.average(),
+              paper_avg);
+  mdlsq::util::Table tab({"op", "+", "-", "*", "/", "sum"});
+  auto row = [&](const char* name, const OpCost& c) {
+    tab.add_row({name, std::to_string(c.adds), std::to_string(c.subs),
+                 std::to_string(c.muls), std::to_string(c.divs),
+                 std::to_string(c.total())});
+  };
+  row("add", t.add);
+  row("mul", t.mul);
+  row("div", t.div);
+  tab.print();
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  bench::header("Table 1: operational counts of multiple double arithmetic");
+  print_block(Precision::d2, 37.7);
+  print_block(Precision::d4, 439.3);
+  print_block(Precision::d8, 2379.0);
+
+  const double f24 =
+      cost_table(Precision::d4).average() / cost_table(Precision::d2).average();
+  const double f48 =
+      cost_table(Precision::d8).average() / cost_table(Precision::d4).average();
+  std::printf("predicted overhead 2d->4d: %.1fx (paper: 11.7x)\n", f24);
+  std::printf("predicted overhead 4d->8d: %.1fx (paper:  5.4x)\n", f48);
+  std::printf(
+      "teraflop in quad double ~ %.1f gigaflops of single-threaded double\n",
+      1e12 / cost_table(Precision::d4).average() / 1e9);
+  return 0;
+}

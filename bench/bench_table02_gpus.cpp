@@ -1,0 +1,28 @@
+// Regenerates Table 2 of the paper: the five NVIDIA GPUs, extended with
+// the device-model parameters (peak double-precision rate, memory
+// bandwidth, roofline ridge point) used by the timing model.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "device/timing_model.hpp"
+
+int main() {
+  using namespace mdlsq;
+  bench::header("Table 2: graphics processing units");
+  util::Table t({"NVIDIA GPU", "CUDA", "#MP", "#cores/MP", "#cores", "GHz",
+                 "host CPU", "host GHz", "peak DP GF", "BW GB/s", "ridge"});
+  for (const device::DeviceSpec* d : device::all_devices()) {
+    t.add_row({d->name, util::fmt1(d->cuda_capability),
+               std::to_string(d->sms), std::to_string(d->cores_per_sm),
+               std::to_string(d->cores()), util::fmt2(d->clock_ghz),
+               d->host_cpu, util::fmt2(d->host_ghz),
+               util::fmt1(d->peak_dp_gflops), util::fmt1(d->mem_bw_gbs),
+               util::fmt2(device::ridge_point(*d))});
+  }
+  t.print();
+  std::printf(
+      "\nV100/P100 theoretical peak ratio: %.2f (paper argues 1.68)\n",
+      device::volta_v100().peak_dp_gflops /
+          device::pascal_p100().peak_dp_gflops);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Regenerates Table 4 and Figure 1 of the paper: blocked Householder QR
+// in double (1d), double double (2d), quad double (4d) and octo double
+// (8d) precision on a 1,024-by-1,024 matrix with 8 tiles of size 128, on
+// the RTX 2080, the P100 and the V100.  Prints the per-stage breakdown,
+// the observed (modeled) precision-doubling overhead factors against the
+// predicted 11.7 / 5.4, and the log2 kernel-time bars of Figure 1.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace mdlsq;
+
+namespace {
+struct PaperTotals {
+  double t1, t2, t4, t8;  // "all kernels" per precision
+};
+
+void one_gpu(const device::DeviceSpec& spec, const PaperTotals& paper) {
+  const md::Precision precs[] = {md::Precision::d1, md::Precision::d2,
+                                 md::Precision::d4, md::Precision::d8};
+  std::vector<device::Device> runs;
+  for (auto p : precs) runs.push_back(bench::qr_dry(spec, p, 1024, 128));
+
+  std::printf("--- times on the %s ---\n", spec.name.c_str());
+  util::Table t({"stage in Algorithm 2", "1d", "2d", "4d", "8d"});
+  for (const auto& stage : bench::qr_stage_order()) {
+    std::vector<std::string> row{stage};
+    for (const auto& dev : runs)
+      row.push_back(util::fmt1(bench::stage_ms(dev, stage)));
+    t.add_row(row);
+  }
+  auto add_total = [&](const char* name, auto get) {
+    std::vector<std::string> row{name};
+    for (const auto& dev : runs) row.push_back(util::fmt1(get(dev)));
+    t.add_row(row);
+  };
+  add_total("all kernels", [](const device::Device& d) { return d.kernel_ms(); });
+  add_total("wall clock", [](const device::Device& d) { return d.wall_ms(); });
+  add_total("kernel flops",
+            [](const device::Device& d) { return d.kernel_gflops(); });
+  add_total("wall flops",
+            [](const device::Device& d) { return d.wall_gflops(); });
+  t.add_row({"paper kernels", util::fmt1(paper.t1), util::fmt1(paper.t2),
+             util::fmt1(paper.t4), util::fmt1(paper.t8)});
+  t.print();
+
+  const double f24 = runs[2].kernel_ms() / runs[1].kernel_ms();
+  const double f48 = runs[3].kernel_ms() / runs[2].kernel_ms();
+  std::printf(
+      "overhead 2d->4d: %.1fx (paper %.1fx, predicted 11.7x)   "
+      "overhead 4d->8d: %.1fx (paper %.1fx, predicted 5.4x)\n\n",
+      f24, paper.t4 / paper.t2, f48, paper.t8 / paper.t4);
+}
+}  // namespace
+
+int main() {
+  bench::header(
+      "Table 4 + Figure 1: QR in four precisions, 1024x1024, 8x128");
+  one_gpu(device::geforce_rtx2080(), {338.6, 3999.5, 35826.7, 160802.8});
+  one_gpu(device::pascal_p100(), {256.2, 712.7, 5187.0, 20547.5});
+  one_gpu(device::volta_v100(), {158.4, 446.8, 3167.0, 11754.6});
+
+  std::printf("Figure 1 data: log2(all-kernels ms) per precision\n");
+  util::Table f({"GPU", "2d", "4d", "8d"});
+  for (const device::DeviceSpec* d :
+       {&device::geforce_rtx2080(), &device::pascal_p100(),
+        &device::volta_v100()}) {
+    std::vector<std::string> row{d->name};
+    for (auto p : {md::Precision::d2, md::Precision::d4, md::Precision::d8})
+      row.push_back(
+          util::fmt2(std::log2(bench::qr_dry(*d, p, 1024, 128).kernel_ms())));
+    f.add_row(row);
+  }
+  f.print();
+  return 0;
+}

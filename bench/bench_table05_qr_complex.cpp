@@ -1,0 +1,75 @@
+// Regenerates Table 5 of the paper: blocked Householder QR in double
+// double precision on real and complex matrices of dimension 512, for
+// tile shapes 16x32, 8x64, 4x128, 2x256, on the V100.  Includes a
+// functional complex validation run at dimension 64.
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "blas/generate.hpp"
+#include "blas/norms.hpp"
+
+using namespace mdlsq;
+
+namespace {
+void block(bool complex_data, const double paper_kernels[4]) {
+  const int tiles[] = {32, 64, 128, 256};
+  std::vector<device::Device> runs;
+  for (int n : tiles)
+    runs.push_back(bench::qr_dry(device::volta_v100(), md::Precision::d2, 512,
+                                 n, complex_data));
+  std::printf("--- on %s matrices ---\n", complex_data ? "complex" : "real");
+  util::Table t({"stage in Algorithm 2", "16x32", "8x64", "4x128", "2x256"});
+  for (const auto& stage : bench::qr_stage_order()) {
+    std::vector<std::string> row{stage};
+    for (const auto& dev : runs)
+      row.push_back(util::fmt1(bench::stage_ms(dev, stage)));
+    t.add_row(row);
+  }
+  auto add_total = [&](const char* name, auto get) {
+    std::vector<std::string> row{name};
+    for (const auto& dev : runs) row.push_back(util::fmt1(get(dev)));
+    t.add_row(row);
+  };
+  add_total("all kernels", [](const device::Device& d) { return d.kernel_ms(); });
+  add_total("wall clock", [](const device::Device& d) { return d.wall_ms(); });
+  add_total("kernel flops",
+            [](const device::Device& d) { return d.kernel_gflops(); });
+  add_total("wall flops",
+            [](const device::Device& d) { return d.wall_gflops(); });
+  t.add_row({"paper kernels", util::fmt1(paper_kernels[0]),
+             util::fmt1(paper_kernels[1]), util::fmt1(paper_kernels[2]),
+             util::fmt1(paper_kernels[3])});
+  t.print();
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  bench::header(
+      "Table 5: real vs complex double double QR, dimension 512, V100");
+  const double paper_real[4] = {53.2, 94.0, 100.5, 161.6};
+  const double paper_cplx[4] = {97.4, 227.4, 238.5, 420.8};
+  block(false, paper_real);
+  block(true, paper_cplx);
+
+  // Complex-to-real kernel time ratio (paper: roughly 2-4x more work).
+  auto r = bench::qr_dry(device::volta_v100(), md::Precision::d2, 512, 128,
+                         false);
+  auto z = bench::qr_dry(device::volta_v100(), md::Precision::d2, 512, 128,
+                         true);
+  std::printf("complex/real kernel-time ratio at 4x128: %.2f (paper: %.2f)\n",
+              z.kernel_ms() / r.kernel_ms(), 238.5 / 100.5);
+
+  std::mt19937_64 gen(55);
+  auto a = blas::random_matrix<md::dd_complex>(64, 64, gen);
+  device::Device fdev(device::volta_v100(), md::Precision::d2,
+                      device::ExecMode::functional);
+  auto f = core::blocked_qr(fdev, a, 16);
+  std::printf(
+      "functional complex check (dim 64): |QR-A|_max = %.2e, "
+      "|Q^H Q - I|_max = %.2e\n",
+      blas::max_abs_diff(blas::gemm(f.q, f.r), a).to_double(),
+      blas::orthogonality_defect(f.q).to_double());
+  return 0;
+}

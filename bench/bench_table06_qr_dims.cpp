@@ -1,0 +1,82 @@
+// Regenerates Table 6 and Figure 2 of the paper: blocked Householder QR
+// in double double, quad double and octo double precision on the V100,
+// for dimensions 512 = 4x128, 1024 = 8x128, 1536 = 12x128, 2048 = 16x128.
+// Shows the migration of the dominant stage from "compute W" at small
+// dimensions to the two matrix-matrix products at large dimensions.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace mdlsq;
+
+namespace {
+void block(md::Precision p, const char* title, const double paper[4]) {
+  const int dims[] = {512, 1024, 1536, 2048};
+  std::vector<device::Device> runs;
+  for (int dim : dims)
+    runs.push_back(bench::qr_dry(device::volta_v100(), p, dim, 128));
+  std::printf("--- %s precision ---\n", title);
+  util::Table t({"stage in Algorithm 2", "512 (4x128)", "1024 (8x128)",
+                 "1536 (12x128)", "2048 (16x128)"});
+  for (const auto& stage : bench::qr_stage_order()) {
+    std::vector<std::string> row{stage};
+    for (const auto& dev : runs)
+      row.push_back(util::fmt1(bench::stage_ms(dev, stage)));
+    t.add_row(row);
+  }
+  auto add_total = [&](const char* name, auto get) {
+    std::vector<std::string> row{name};
+    for (const auto& dev : runs) row.push_back(util::fmt1(get(dev)));
+    t.add_row(row);
+  };
+  add_total("all kernels", [](const device::Device& d) { return d.kernel_ms(); });
+  add_total("wall clock", [](const device::Device& d) { return d.wall_ms(); });
+  add_total("kernel flops",
+            [](const device::Device& d) { return d.kernel_gflops(); });
+  add_total("wall flops",
+            [](const device::Device& d) { return d.wall_gflops(); });
+  t.add_row({"paper kernels", util::fmt1(paper[0]), util::fmt1(paper[1]),
+             util::fmt1(paper[2]), util::fmt1(paper[3])});
+  t.print();
+
+  // Dominant-stage narrative of Section 4.6.
+  auto dominant = [&](const device::Device& d) {
+    std::string best;
+    double bt = -1;
+    for (const auto& s : d.stages())
+      if (s.kernel_ms > bt) {
+        bt = s.kernel_ms;
+        best = s.name;
+      }
+    return best;
+  };
+  std::printf("dominant stage: 512 -> %s, 2048 -> %s\n",
+              dominant(runs[0]).c_str(), dominant(runs[3]).c_str());
+  std::printf("wall ratio 1024/512: %.1f (cost is cubic-plus)\n\n",
+              runs[1].wall_ms() / runs[0].wall_ms());
+}
+}  // namespace
+
+int main() {
+  bench::header("Table 6 + Figure 2: QR for increasing dimensions, V100");
+  const double paper_dd[4] = {100.5, 238.2, 1455.8, 26815.0};
+  const double paper_qd[4] = {674.3, 3136.5, 13431.2, 34372.5};
+  const double paper_od[4] = {2490.8, 12280.1, 44679.8, 107769.2};
+  block(md::Precision::d2, "double double", paper_dd);
+  block(md::Precision::d4, "quad double", paper_qd);
+  block(md::Precision::d8, "octo double", paper_od);
+
+  std::printf("Figure 2 data: log2(all-kernels ms) per dimension\n");
+  util::Table f({"precision", "512", "1024", "1536", "2048"});
+  for (auto p : {md::Precision::d2, md::Precision::d4, md::Precision::d8}) {
+    std::vector<std::string> row{md::name_of(p)};
+    for (int dim : {512, 1024, 1536, 2048})
+      row.push_back(util::fmt2(
+          std::log2(bench::qr_dry(device::volta_v100(), p, dim, 128)
+                        .kernel_ms())));
+    f.add_row(row);
+  }
+  f.print();
+  return 0;
+}

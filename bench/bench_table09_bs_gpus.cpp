@@ -1,0 +1,92 @@
+// Regenerates Table 9 and Figure 4 of the paper: tiled accelerated back
+// substitution in quad double precision on the RTX 2080, the P100 and the
+// V100, with N = 80 tiles and tile sizes n = 32..256 (dimensions 2,560 to
+// 20,480).  The headline: the V100 approaches a teraflop near n = 224-256.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace mdlsq;
+
+namespace {
+const int kSizes[] = {32, 64, 96, 128, 160, 192, 224, 256};
+
+void block(const device::DeviceSpec& spec, const double paper_kernels[8]) {
+  std::vector<device::Device> runs;
+  for (int n : kSizes)
+    runs.push_back(bench::bs_dry(spec, md::Precision::d4, 80, n));
+  std::printf("--- times on the %s ---\n", spec.name.c_str());
+  std::vector<std::string> head{"stage in Algorithm 1"};
+  for (int n : kSizes) head.push_back(std::to_string(n));
+  util::Table t(head);
+  for (const auto& stage : bench::bs_stage_order()) {
+    std::vector<std::string> row{stage};
+    for (const auto& dev : runs)
+      row.push_back(util::fmt1(bench::stage_ms(dev, stage)));
+    t.add_row(row);
+  }
+  auto add_total = [&](const char* name, auto get) {
+    std::vector<std::string> row{name};
+    for (const auto& dev : runs) row.push_back(util::fmt1(get(dev)));
+    t.add_row(row);
+  };
+  add_total("time spent by kernels",
+            [](const device::Device& d) { return d.kernel_ms(); });
+  add_total("wall clock time",
+            [](const device::Device& d) { return d.wall_ms(); });
+  add_total("kernel time flops",
+            [](const device::Device& d) { return d.kernel_gflops(); });
+  add_total("wall clock flops",
+            [](const device::Device& d) { return d.wall_gflops(); });
+  {
+    std::vector<std::string> row{"paper kernels"};
+    for (int i = 0; i < 8; ++i) row.push_back(util::fmt1(paper_kernels[i]));
+    t.add_row(row);
+  }
+  t.print();
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  bench::header(
+      "Table 9 + Figure 4: back substitution, quad double, 80 tiles, "
+      "n = 32..256");
+  const double paper_rtx[8] = {106.8, 267.7, 524.4, 907.2,
+                               1465.1, 2170.4, 3096.3, 4392.3};
+  const double paper_p100[8] = {24.3, 49.6, 78.7, 119.0,
+                                176.4, 259.8, 332.3, 431.7};
+  const double paper_v100[8] = {19.6, 37.8, 59.2, 86.4,
+                                145.0, 184.6, 237.1, 314.5};
+  block(device::geforce_rtx2080(), paper_rtx);
+  block(device::pascal_p100(), paper_p100);
+  block(device::volta_v100(), paper_v100);
+
+  std::printf("Figure 4 data: log2(kernel ms)\n");
+  util::Table f({"GPU", "32", "64", "96", "128", "160", "192", "224", "256"});
+  for (const device::DeviceSpec* d :
+       {&device::geforce_rtx2080(), &device::pascal_p100(),
+        &device::volta_v100()}) {
+    std::vector<std::string> row{d->name};
+    for (int n : kSizes)
+      row.push_back(util::fmt2(
+          std::log2(bench::bs_dry(*d, md::Precision::d4, 80, n).kernel_ms())));
+    f.add_row(row);
+  }
+  f.print();
+
+  auto v224 = bench::bs_dry(device::volta_v100(), md::Precision::d4, 80, 224);
+  auto v256 = bench::bs_dry(device::volta_v100(), md::Precision::d4, 80, 256);
+  std::printf(
+      "\nteraflop crossover on the V100: n=224 -> %.0f GF, n=256 -> %.0f GF "
+      "(paper: 1026 / 1116)\n",
+      v224.kernel_gflops(), v256.kernel_gflops());
+  auto p128 = bench::bs_dry(device::pascal_p100(), md::Precision::d4, 80, 128);
+  auto v128 = bench::bs_dry(device::volta_v100(), md::Precision::d4, 80, 128);
+  std::printf(
+      "P100/V100 kernel-time ratio at n=128: %.2f (paper: %.2f; the 80 "
+      "tiles fit the V100's 80 SMs but need two waves on the P100's 56)\n",
+      p128.kernel_ms() / v128.kernel_ms(), 119.0 / 86.4);
+  return 0;
+}

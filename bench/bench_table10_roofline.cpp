@@ -1,0 +1,52 @@
+// Regenerates Table 10 and Figure 5 of the paper: arithmetic intensity and
+// kernel flops for the tiled accelerated back substitution in quad double
+// precision on the V100, and the roofline coordinates (log10 AI, log10
+// gigaflops) with the 9.08 flops/byte ridge point.
+//
+// Note on accounting: our arithmetic intensity is dp-flops over the
+// modeled per-kernel global-memory traffic; the paper derives bytes "from
+// the dimensions of the problem", so absolute AI values differ while the
+// shape — dots moving up and to the right as n grows, the n = 32 point an
+// outlier from half occupancy — is preserved (see EXPERIMENTS.md).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace mdlsq;
+
+int main() {
+  bench::header(
+      "Table 10 + Figure 5: roofline of quad double back substitution, V100");
+  const int sizes[] = {32, 64, 96, 128, 160, 192, 224, 256};
+  const double paper_flops[8] = {119.1, 263.9, 440.7, 633.8,
+                                 679.0, 852.9, 1036.0, 1113.6};
+
+  const auto& v100 = device::volta_v100();
+  std::printf("ridge point: %.2f flops/byte (paper: 9.08)\n\n",
+              device::ridge_point(v100));
+
+  util::Table t({"n", "dim", "AI (flops/byte)", "kernel GF", "paper GF",
+                 "roofline cap GF", "log10 AI", "log10 GF", "bound"});
+  double prev_ai = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int n = sizes[i];
+    auto dev = bench::bs_dry(v100, md::Precision::d4, 80, n);
+    const double ai = dev.dp_flops() / double(dev.bytes_total());
+    const double gf = dev.kernel_gflops();
+    t.add_row({std::to_string(n), std::to_string(80 * n), util::fmt2(ai),
+               util::fmt1(gf), util::fmt1(paper_flops[i]),
+               util::fmt1(device::roofline_gflops(v100, ai)),
+               util::fmt2(std::log10(ai)), util::fmt2(std::log10(gf)),
+               ai > device::ridge_point(v100) ? "compute" : "memory"});
+    if (i > 0 && ai <= prev_ai)
+      std::printf("WARNING: arithmetic intensity not increasing at n=%d\n", n);
+    prev_ai = ai;
+  }
+  t.print();
+  std::printf(
+      "\nFigure 5 shape: as n increases the dots move up and to the right\n"
+      "(more compute bound); the leftmost dot (n=32) is the paper's\n"
+      "half-occupancy outlier: 32 threads on 64-core multiprocessors.\n");
+  return 0;
+}

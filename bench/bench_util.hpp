@@ -1,0 +1,116 @@
+// Shared helpers for the bench harness: run the dry-run experiments on a
+// modeled device, collect per-stage rows in the paper's legend order, and
+// print paper-style tables (milliseconds and gigaflops).
+//
+// All GPU numbers are MODELED (DESIGN.md §1): the functional code path is
+// identical, but no CUDA device exists here, so kernel times come from the
+// calibrated roofline/latency model.  Where the binary prints a "paper"
+// column, the values are transcribed from the corresponding table of
+// arXiv:2110.08375v2 for side-by-side comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/least_squares.hpp"
+#include "device/device_spec.hpp"
+#include "device/launch.hpp"
+#include "md/mdreal.hpp"
+#include "util/table.hpp"
+
+namespace bench {
+
+using namespace mdlsq;
+
+// The paper's QR table row order (Tables 3-6).
+inline const std::vector<std::string>& qr_stage_order() {
+  static const std::vector<std::string> order = {
+      "beta,v",  "betaRT*v", "update R", "compute W", "Y*W^T",
+      "Q*WY^T",  "YWT*C",    "Q+QWY",    "R+YWTC"};
+  return order;
+}
+
+// The paper's back-substitution row order (Tables 7-9).
+inline const std::vector<std::string>& bs_stage_order() {
+  static const std::vector<std::string> order = {
+      "invert diagonal tiles", "multiply with inverses", "back substitution"};
+  return order;
+}
+
+inline double stage_ms(const device::Device& dev, const std::string& name) {
+  for (const auto& s : dev.stages())
+    if (s.name == name) return s.kernel_ms;
+  return 0.0;
+}
+
+// Dispatch a callable templated on the scalar type over a Precision value.
+template <class F>
+void with_precision(md::Precision p, F&& f) {
+  switch (p) {
+    case md::Precision::d1: f(md::mdreal<1>{}); break;
+    case md::Precision::d2: f(md::mdreal<2>{}); break;
+    case md::Precision::d4: f(md::mdreal<4>{}); break;
+    case md::Precision::d8: f(md::mdreal<8>{}); break;
+  }
+}
+
+// Dry-run of the blocked QR; returns the device for inspection.
+inline device::Device qr_dry(const device::DeviceSpec& spec, md::Precision p,
+                             int dim, int tile, bool complex_data = false) {
+  device::Device dev(spec, p, device::ExecMode::dry_run);
+  with_precision(p, [&](auto tag) {
+    using T = decltype(tag);
+    constexpr int N = T::limbs;
+    if (complex_data)
+      core::blocked_qr_dry<md::mdcomplex<N>>(dev, dim, dim, tile);
+    else
+      core::blocked_qr_dry<T>(dev, dim, dim, tile);
+  });
+  return dev;
+}
+
+// Dry-run of the tiled back substitution.
+inline device::Device bs_dry(const device::DeviceSpec& spec, md::Precision p,
+                             int tiles, int tile_size) {
+  device::Device dev(spec, p, device::ExecMode::dry_run);
+  with_precision(p, [&](auto tag) {
+    using T = decltype(tag);
+    core::tiled_back_sub_dry<T>(dev, tiles, tile_size);
+  });
+  return dev;
+}
+
+struct LsqDry {
+  device::Device dev;
+  double qr_ms = 0.0, bs_ms = 0.0;
+};
+
+// Dry-run of the full least-squares solver.
+inline LsqDry lsq_dry(const device::DeviceSpec& spec, md::Precision p,
+                      int dim, int tile) {
+  LsqDry out{device::Device(spec, p, device::ExecMode::dry_run)};
+  with_precision(p, [&](auto tag) {
+    using T = decltype(tag);
+    auto r = core::least_squares_dry<T>(out.dev, dim, dim, tile);
+    out.qr_ms = r.qr_kernel_ms;
+    out.bs_ms = r.bs_kernel_ms;
+  });
+  return out;
+}
+
+inline void header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf(
+      "(modeled device times; see DESIGN.md section 1 and EXPERIMENTS.md)\n\n");
+}
+
+// Percentage deviation string vs a paper reference, or "-" when absent.
+inline std::string vs_paper(double model, double paper) {
+  if (paper <= 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.0f%%", 100.0 * (model / paper - 1.0));
+  return buf;
+}
+
+}  // namespace bench

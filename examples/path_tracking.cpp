@@ -1,0 +1,109 @@
+// Power-series path tracking — the paper's motivating application
+// (Section 1.1): a robust path tracker for polynomial homotopies computes
+// Taylor coefficients of the solution path x(t) by solving a lower
+// triangular BLOCK TOEPLITZ system whose diagonal blocks are the Jacobian
+// (Bliss & Verschelde; Telen, Van Barel & Verschelde).  Round-off
+// propagates order by order, so the leading coefficients must be computed
+// more accurately than hardware doubles allow — this example measures
+// exactly that effect.
+//
+// Setup: A(t) = A0 + A1 t with random well-conditioned A0, and a known
+// analytic path x*(t) with coefficients x*_k = v / 2^k.  The right-hand
+// side b(t) = A(t) x*(t) is formed exactly in high precision; then the
+// block-Toeplitz recursion
+//
+//     A0 x_k = b_k - A1 x_{k-1},      k = 0, 1, ..., ORDER
+//
+// is solved with the multiple-double least-squares solver at each order,
+// and the recovered coefficients are compared with x*_k.
+#include <cstdio>
+#include <random>
+
+#include "blas/generate.hpp"
+#include "blas/norms.hpp"
+#include "core/least_squares.hpp"
+
+using namespace mdlsq;
+
+namespace {
+constexpr int kDim = 16;    // block size (number of equations/variables)
+constexpr int kOrder = 24;  // series truncation order
+constexpr int kTile = 8;
+
+// Runs the recursion in precision T; returns the max relative coefficient
+// error per order.
+template <class T>
+std::vector<double> run() {
+  std::mt19937_64 gen(77);
+  auto a0 = blas::random_matrix<T>(kDim, kDim, gen);
+  auto a1 = blas::random_matrix<T>(kDim, kDim, gen);
+  auto v = blas::random_vector<T>(kDim, gen);
+
+  // Exact-ish series x*_k = v / 2^k (exact scaling by powers of two).
+  std::vector<blas::Vector<T>> xstar(kOrder + 1);
+  for (int k = 0; k <= kOrder; ++k) {
+    xstar[k] = v;
+    for (auto& e : xstar[k]) e = blas::scale2(e, -k);
+  }
+  // b_k = A0 x*_k + A1 x*_{k-1}.
+  std::vector<blas::Vector<T>> bk(kOrder + 1);
+  for (int k = 0; k <= kOrder; ++k) {
+    bk[k] = blas::gemv(a0, std::span<const T>(xstar[k]));
+    if (k > 0) {
+      auto t = blas::gemv(a1, std::span<const T>(xstar[k - 1]));
+      for (int i = 0; i < kDim; ++i) bk[k][i] += t[i];
+    }
+  }
+
+  // Toeplitz recursion, one least-squares solve per order.
+  device::Device dev(device::volta_v100(),
+                     md::Precision(blas::scalar_traits<T>::limbs),
+                     device::ExecMode::functional);
+  std::vector<double> err(kOrder + 1);
+  blas::Vector<T> xprev;
+  for (int k = 0; k <= kOrder; ++k) {
+    blas::Vector<T> rhs = bk[k];
+    if (k > 0) {
+      auto t = blas::gemv(a1, std::span<const T>(xprev));
+      for (int i = 0; i < kDim; ++i) rhs[i] -= t[i];
+    }
+    dev.reset();
+    auto sol = core::least_squares(dev, a0, rhs, kTile);
+    double worst = 0.0;
+    for (int i = 0; i < kDim; ++i) {
+      const double denom =
+          std::max(1e-300, std::fabs(xstar[k][i].to_double()));
+      worst = std::max(
+          worst, std::fabs((sol.x[i] - xstar[k][i]).to_double()) / denom);
+    }
+    err[k] = worst;
+    xprev = std::move(sol.x);
+  }
+  return err;
+}
+}  // namespace
+
+int main() {
+  std::printf(
+      "power-series path tracking: block Toeplitz recursion, block %d, "
+      "order %d\nmax relative coefficient error by order:\n\n",
+      kDim, kOrder);
+  auto e1 = run<md::mdreal<1>>();
+  auto e2 = run<md::dd_real>();
+  auto e4 = run<md::qd_real>();
+  std::printf("%6s %12s %12s %12s\n", "order", "double", "dd", "qd");
+  for (int k = 0; k <= kOrder; k += 4)
+    std::printf("%6d %12.2e %12.2e %12.2e\n", k, e1[k], e2[k], e4[k]);
+  std::printf(
+      "\nround-off accumulates with the order in hardware doubles, while\n"
+      "double doubles and quad doubles keep the leading coefficients at\n"
+      "their respective working precision — the reason the path tracker\n"
+      "of the paper's Section 1.1 needs multiple double arithmetic.\n");
+  // quick sanity: qd must be at least 20 orders of magnitude better than
+  // double at the final order.
+  if (e4[kOrder] > e1[kOrder] * 1e-20 && e1[kOrder] > 0) {
+    std::printf("UNEXPECTED: qd did not improve on double\n");
+    return 1;
+  }
+  return 0;
+}

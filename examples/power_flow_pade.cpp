@@ -1,0 +1,119 @@
+// Padé approximation for the holomorphic embedding load flow method —
+// the paper's second motivating application (Section 1.1): HELM expands
+// the steady-state voltages as a power series in the embedding parameter
+// s and evaluates at s = 1 through Padé approximants.  The linear systems
+// that produce the Padé denominator are Toeplitz systems that become
+// exponentially ill-conditioned with the order, so "multiprecision
+// arithmetic adds significant value" (Rao & Tylavsky).
+//
+// This example builds the [m/m] Padé approximant of the (embedding-like)
+// function f(s) = log(1+s)/s from its Taylor coefficients by solving the
+// Toeplitz least-squares system for the denominator in double, double
+// double, quad double and octo double, then evaluates at s = 1 (the HELM
+// operating point), where the series itself converges hopelessly slowly.
+#include <cmath>
+#include <cstdio>
+
+#include "blas/matrix.hpp"
+#include "core/least_squares.hpp"
+#include "md/io.hpp"
+
+using namespace mdlsq;
+
+namespace {
+constexpr int kM = 24;  // [24/24] Pade approximant
+
+// ln(2) to 140 digits: the reference value of f(1), parsed into each
+// working precision so the error measurement is not limited to doubles.
+constexpr const char* kLn2 =
+    "0.6931471805599453094172321214581765680755001343602552541206800094933936"
+    "2196969471560586332699641868754200148102057068573368552023575813";
+
+template <class T>
+T ln2_ref() {
+  return md::from_string<blas::scalar_traits<T>::limbs>(kLn2);
+}
+
+// Taylor coefficients of log(1+s)/s: c_k = (-1)^k / (k+1), exact in any
+// multiple-double precision.
+template <class T>
+T coeff(int k) {
+  T c = T(1.0) / T(double(k + 1));
+  return (k % 2) ? -c : c;
+}
+
+// Solves for the Pade denominator q (q_0 = 1) from the Toeplitz system
+//   sum_{j=1..m} c_{m-j+i} q_j = -c_{m+i},  i = 1..m,
+// then the numerator p follows by convolution.  Returns |f(1) - p/q(1)|.
+template <class T>
+double pade_error_at_one(device::Device& dev) {
+  blas::Matrix<T> toep(kM, kM);
+  blas::Vector<T> rhs(kM);
+  for (int i = 1; i <= kM; ++i) {
+    for (int j = 1; j <= kM; ++j) toep(i - 1, j - 1) = coeff<T>(kM - j + i);
+    rhs[i - 1] = -coeff<T>(kM + i);
+  }
+  dev.reset();
+  auto sol = core::least_squares(dev, toep, rhs, 8);
+
+  // q(s) = 1 + sum q_j s^j ; p = (c * q) truncated at degree m.
+  blas::Vector<T> q(kM + 1);
+  q[0] = T(1.0);
+  for (int j = 1; j <= kM; ++j) q[j] = sol.x[j - 1];
+  blas::Vector<T> p(kM + 1);
+  for (int i = 0; i <= kM; ++i) {
+    T s{};
+    for (int j = 0; j <= i; ++j) s += coeff<T>(i - j) * q[j];
+    p[i] = s;
+  }
+  // Evaluate p/q at s = 1 (Horner not needed: s = 1, plain sums) and
+  // compare with ln(2) at the working precision.
+  T pn{}, qn{};
+  for (int i = 0; i <= kM; ++i) {
+    pn += p[i];
+    qn += q[i];
+  }
+  return std::fabs((pn / qn - ln2_ref<T>()).to_double());
+}
+
+// Truncated Taylor sum at s = 1 for contrast (alternating harmonic).
+double taylor_error_at_one(int terms) {
+  double s = 0;
+  for (int k = 0; k < terms; ++k)
+    s += (k % 2 ? -1.0 : 1.0) / double(k + 1);
+  return std::fabs(s - std::log(2.0));
+}
+}  // namespace
+
+int main() {
+  std::printf(
+      "holomorphic-embedding style Pade evaluation of log(1+s)/s at s=1\n"
+      "[%d/%d] approximant from %d Taylor coefficients\n\n",
+      kM, kM, 2 * kM + 1);
+  std::printf("truncated Taylor (2m+1 terms) error: %.3e\n\n",
+              taylor_error_at_one(2 * kM + 1));
+
+  std::printf("%8s %14s %16s\n", "prec", "|f - p/q|(1)", "modeled ms (V100)");
+  auto run = [&](auto tag, md::Precision p) {
+    using T = decltype(tag);
+    device::Device dev(device::volta_v100(), p,
+                       device::ExecMode::functional);
+    const double err = pade_error_at_one<T>(dev);
+    std::printf("%8s %14.3e %16.3f\n", md::name_of(p), err, dev.kernel_ms());
+    return err;
+  };
+  const double ed1 = run(md::mdreal<1>{}, md::Precision::d1);
+  const double ed2 = run(md::dd_real{}, md::Precision::d2);
+  const double ed4 = run(md::qd_real{}, md::Precision::d4);
+  const double ed8 = run(md::od_real{}, md::Precision::d8);
+
+  std::printf(
+      "\nthe [%d/%d] Pade approximant is limited by the conditioning of\n"
+      "the Toeplitz system, not by the approximation theory: each jump in\n"
+      "working precision recovers more of the theoretical accuracy, which\n"
+      "is why HELM implementations lean on multiprecision arithmetic.\n",
+      kM, kM);
+  (void)ed2;
+  (void)ed4;
+  return (ed8 < ed1) ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Level-2/3 reference BLAS: matrix-vector and matrix-matrix products,
+// with plain and adjoint operand forms, over multiple-double scalars.
+// These are the host baselines the accelerated kernels are tested against.
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "blas/matrix.hpp"
+
+namespace mdlsq::blas {
+
+// y = A x
+template <class T>
+Vector<T> gemv(const Matrix<T>& a, std::span<const T> x) {
+  assert(static_cast<size_t>(a.cols()) == x.size());
+  Vector<T> y(a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    T s{};
+    for (int j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+// y = A^H x   (A^T for real scalars)
+template <class T>
+Vector<T> gemv_adjoint(const Matrix<T>& a, std::span<const T> x) {
+  assert(static_cast<size_t>(a.rows()) == x.size());
+  Vector<T> y(a.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    T s{};
+    for (int i = 0; i < a.rows(); ++i) s += conj_of(a(i, j)) * x[i];
+    y[j] = s;
+  }
+  return y;
+}
+
+// C = A B
+template <class T>
+Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.cols() == b.rows());
+  Matrix<T> c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.cols(); ++j) {
+      T s{};
+      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+// C = A^H B
+template <class T>
+Matrix<T> gemm_adjoint_a(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.rows() == b.rows());
+  Matrix<T> c(a.cols(), b.cols());
+  for (int i = 0; i < a.cols(); ++i)
+    for (int j = 0; j < b.cols(); ++j) {
+      T s{};
+      for (int k = 0; k < a.rows(); ++k) s += conj_of(a(k, i)) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+// C = A B^H
+template <class T>
+Matrix<T> gemm_adjoint_b(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.cols() == b.cols());
+  Matrix<T> c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.rows(); ++j) {
+      T s{};
+      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * conj_of(b(j, k));
+      c(i, j) = s;
+    }
+  return c;
+}
+
+// C += A B
+template <class T>
+void gemm_acc(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
+  assert(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.cols(); ++j) {
+      T s = c(i, j);
+      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+}
+
+}  // namespace mdlsq::blas

@@ -1,0 +1,52 @@
+// Workload generators matching the paper's Section 4.1: random dense
+// matrices with full-precision random entries, right-hand sides, and
+// well-conditioned random upper triangular matrices obtained as the U
+// factor of a pivoted LU factorization.
+#pragma once
+
+#include <random>
+
+#include "blas/lu.hpp"
+#include "blas/matrix.hpp"
+#include "md/random.hpp"
+
+namespace mdlsq::blas {
+
+namespace detail {
+template <class T, class Urbg>
+T random_scalar(Urbg& gen) {
+  if constexpr (is_complex_v<T>) {
+    return md::random_complex<scalar_traits<T>::limbs>(gen);
+  } else {
+    return md::random_uniform<scalar_traits<T>::limbs>(gen);
+  }
+}
+}  // namespace detail
+
+template <class T, class Urbg>
+Matrix<T> random_matrix(int rows, int cols, Urbg& gen) {
+  Matrix<T> a(rows, cols);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j) a(i, j) = detail::random_scalar<T>(gen);
+  return a;
+}
+
+template <class T, class Urbg>
+Vector<T> random_vector(int n, Urbg& gen) {
+  Vector<T> v(n);
+  for (T& x : v) x = detail::random_scalar<T>(gen);
+  return v;
+}
+
+// Well-conditioned random upper triangular matrix (paper §4.1): the U
+// factor of PA = LU for random dense A.  Retries in the (measure-zero)
+// singular case.
+template <class T, class Urbg>
+Matrix<T> random_upper_triangular(int n, Urbg& gen) {
+  for (;;) {
+    LuResult<T> f = lu_factor(random_matrix<T>(n, n, gen));
+    if (!f.singular) return upper_of(f);
+  }
+}
+
+}  // namespace mdlsq::blas

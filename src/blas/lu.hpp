@@ -1,0 +1,80 @@
+// LU factorization with partial pivoting over multiple-double scalars.
+//
+// Its role here mirrors the paper's Section 4.1: random upper triangular
+// matrices are almost surely exponentially ill-conditioned
+// (Viswanath & Trefethen), so the standalone back-substitution tests use
+// the U factor of a pivoted LU of a random dense matrix, which is well
+// conditioned with overwhelming probability.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "blas/matrix.hpp"
+
+namespace mdlsq::blas {
+
+template <class T>
+struct LuResult {
+  Matrix<T> lu;            // unit-lower L below the diagonal, U on and above
+  std::vector<int> perm;   // row permutation: row i of PA is row perm[i] of A
+  bool singular = false;
+};
+
+template <class T>
+LuResult<T> lu_factor(Matrix<T> a) {
+  const int n = a.rows();
+  LuResult<T> r{Matrix<T>(0, 0), std::vector<int>(n), false};
+  std::iota(r.perm.begin(), r.perm.end(), 0);
+  for (int k = 0; k < n; ++k) {
+    // Partial pivoting on |.|.
+    int piv = k;
+    auto best = abs2(a(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      auto v = abs2(a(i, k));
+      if (best < v) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best.is_zero()) {
+      r.singular = true;
+      continue;
+    }
+    if (piv != k) {
+      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(r.perm[k], r.perm[piv]);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      const T m = a(i, k) / a(k, k);
+      a(i, k) = m;
+      for (int j = k + 1; j < n; ++j) a(i, j) -= m * a(k, j);
+    }
+  }
+  r.lu = std::move(a);
+  return r;
+}
+
+// The upper triangular factor, zero below the diagonal.
+template <class T>
+Matrix<T> upper_of(const LuResult<T>& f) {
+  const int n = f.lu.rows();
+  Matrix<T> u(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) u(i, j) = f.lu(i, j);
+  return u;
+}
+
+// The unit lower triangular factor.
+template <class T>
+Matrix<T> lower_of(const LuResult<T>& f) {
+  const int n = f.lu.rows();
+  Matrix<T> l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) l(i, j) = f.lu(i, j);
+    l(i, i) = T(1.0);
+  }
+  return l;
+}
+
+}  // namespace mdlsq::blas

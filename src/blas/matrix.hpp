@@ -1,0 +1,70 @@
+// Dense row-major host matrix over any multiple-double scalar.  This is
+// the *reference* (host/CPU) container; the device algorithms use the
+// staged layout in device/staged.hpp.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "blas/scalar.hpp"
+
+namespace mdlsq::blas {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), a_(size_t(rows) * cols) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  T& operator()(int i, int j) noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return a_[size_t(i) * cols_ + j];
+  }
+  const T& operator()(int i, int j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return a_[size_t(i) * cols_ + j];
+  }
+
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = T(1.0);
+    return m;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+      for (int j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  // Conjugate (Hermitian) transpose; equals transposed() for real T.
+  Matrix adjoint() const {
+    Matrix t(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+      for (int j = 0; j < cols_; ++j) t(j, i) = conj_of((*this)(i, j));
+    return t;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+    for (size_t k = 0; k < a.a_.size(); ++k)
+      if (!(a.a_[k] == b.a_[k])) return false;
+    return true;
+  }
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<T> a_;
+};
+
+template <class T>
+using Vector = std::vector<T>;
+
+}  // namespace mdlsq::blas

@@ -1,0 +1,111 @@
+// Scalar traits unifying real and complex multiple-double numbers so the
+// factorization and solver code can be written once.  `conj_of` is the
+// identity on reals; `sign_like` is the Householder sign: copysign(1, x)
+// for reals and the unit phase x/|x| for complex numbers (1 at zero).
+#pragma once
+
+#include "md/complex_md.hpp"
+#include "md/functions.hpp"
+#include "md/mdreal.hpp"
+
+namespace mdlsq::blas {
+
+template <class T>
+struct scalar_traits;
+
+template <int N>
+struct scalar_traits<md::mdreal<N>> {
+  using real_type = md::mdreal<N>;
+  static constexpr bool is_complex = false;
+  static constexpr int limbs = N;
+  static constexpr int doubles_per_element = N;
+};
+
+template <int N>
+struct scalar_traits<md::mdcomplex<N>> {
+  using real_type = md::mdreal<N>;
+  static constexpr bool is_complex = true;
+  static constexpr int limbs = N;
+  static constexpr int doubles_per_element = 2 * N;
+};
+
+template <class T>
+using real_of_t = typename scalar_traits<T>::real_type;
+
+template <class T>
+inline constexpr bool is_complex_v = scalar_traits<T>::is_complex;
+
+template <int N>
+md::mdreal<N> conj_of(const md::mdreal<N>& x) {
+  return x;
+}
+template <int N>
+md::mdcomplex<N> conj_of(const md::mdcomplex<N>& z) {
+  return conj(z);
+}
+
+// |x|^2 as a real number.
+template <int N>
+md::mdreal<N> abs2(const md::mdreal<N>& x) {
+  return x * x;
+}
+template <int N>
+md::mdreal<N> abs2(const md::mdcomplex<N>& z) {
+  return norm(z);
+}
+
+// |x| as a real number.
+template <int N>
+md::mdreal<N> abs_of(const md::mdreal<N>& x) {
+  return abs(x);
+}
+template <int N>
+md::mdreal<N> abs_of(const md::mdcomplex<N>& z) {
+  return abs(z);
+}
+
+// Unit-magnitude factor carrying the "sign" of x (Householder reflector
+// construction, Golub & Van Loan Alg. 5.1.1 and its complex analogue).
+template <int N>
+md::mdreal<N> sign_like(const md::mdreal<N>& x) {
+  return md::mdreal<N>(x.is_negative() ? -1.0 : 1.0);
+}
+template <int N>
+md::mdcomplex<N> sign_like(const md::mdcomplex<N>& z) {
+  const md::mdreal<N> a = abs(z);
+  if (a.is_zero()) return md::mdcomplex<N>(1.0);
+  return z / a;
+}
+
+// Real part, for residual checks.
+template <int N>
+md::mdreal<N> real_part(const md::mdreal<N>& x) {
+  return x;
+}
+template <int N>
+md::mdreal<N> real_part(const md::mdcomplex<N>& z) {
+  return z.re;
+}
+
+// Leading-limb magnitude as a plain double — used for exact power-of-two
+// scaling decisions (no multiple-double operations involved).
+template <int N>
+double lead_mag(const md::mdreal<N>& x) {
+  return std::fabs(x.to_double());
+}
+template <int N>
+double lead_mag(const md::mdcomplex<N>& z) {
+  return std::max(std::fabs(z.re.to_double()), std::fabs(z.im.to_double()));
+}
+
+// Exact scaling by 2^e.
+template <int N>
+md::mdreal<N> scale2(const md::mdreal<N>& x, int e) {
+  return ldexp(x, e);
+}
+template <int N>
+md::mdcomplex<N> scale2(const md::mdcomplex<N>& z, int e) {
+  return {ldexp(z.re, e), ldexp(z.im, e)};
+}
+
+}  // namespace mdlsq::blas

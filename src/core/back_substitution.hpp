@@ -1,0 +1,50 @@
+// Reference (host) back substitution for upper triangular systems, and
+// the host least-squares baseline combining it with the reference QR.
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "core/householder.hpp"
+
+namespace mdlsq::core {
+
+// Solves U x = b for upper triangular U (nonzero diagonal).
+template <class T>
+blas::Vector<T> back_substitute(const blas::Matrix<T>& u,
+                                std::span<const T> b) {
+  const int n = u.rows();
+  assert(u.cols() == n && static_cast<int>(b.size()) == n);
+  blas::Vector<T> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    T s = b[i];
+    for (int j = i + 1; j < n; ++j) s -= u(i, j) * x[j];
+    x[i] = s / u(i, i);
+  }
+  return x;
+}
+
+// Host least-squares baseline: x = argmin ||b - A x||_2 via Householder QR
+// and back substitution on the leading C-by-C block of R.
+template <class T>
+blas::Vector<T> least_squares_host(const blas::Matrix<T>& a,
+                                   std::span<const T> b) {
+  const int m = a.rows(), c = a.cols();
+  assert(static_cast<int>(b.size()) == m);
+  QrFactors<T> f = householder_qr(a);
+  // y = (Q^H b)[0:c]
+  blas::Vector<T> y(c);
+  for (int j = 0; j < c; ++j) {
+    T s{};
+    for (int i = 0; i < m; ++i) s += blas::conj_of(f.q(i, j)) * b[i];
+    y[j] = s;
+  }
+  blas::Matrix<T> r_top(c, c);
+  for (int i = 0; i < c; ++i)
+    for (int j = i; j < c; ++j) r_top(i, j) = f.r(i, j);
+  return back_substitute(r_top, std::span<const T>(y));
+}
+
+}  // namespace mdlsq::core

@@ -1,0 +1,87 @@
+// Lower triangular block Toeplitz solver for power-series linear systems —
+// the paper's motivating substrate (Section 1.1, after Bliss & Verschelde
+// and Telen, Van Barel & Verschelde): computing the Taylor coefficients
+// x_0, x_1, ..., x_K of the solution path of A(t) x(t) = b(t) reduces to
+//
+//     | T_0               | | x_0 |   | b_0 |
+//     | T_1  T_0          | | x_1 | = | b_1 |
+//     | ...       ...     | | ... |   | ... |
+//     | T_K  ...  T_1 T_0 | | x_K |   | b_K |
+//
+// where T_0 is the Jacobian at the current point.  The diagonal block is
+// factored ONCE (QR, the expensive O(m^3) step); every series order then
+// costs one convolution update plus one triangular solve.  Round-off in
+// the convolution accumulates with the order, which is exactly the error
+// amplification that motivates multiple double precision in the paper.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "core/back_substitution.hpp"
+#include "core/householder.hpp"
+
+namespace mdlsq::core {
+
+template <class T>
+class BlockToeplitzSolver {
+ public:
+  // blocks[j] is T_j (all m-by-m); blocks[0] must be nonsingular.
+  explicit BlockToeplitzSolver(std::vector<blas::Matrix<T>> blocks)
+      : blocks_(std::move(blocks)) {
+    assert(!blocks_.empty());
+    const int m = blocks_[0].rows();
+    for (const auto& blk : blocks_) {
+      assert(blk.rows() == m && blk.cols() == m);
+      (void)blk;
+    }
+    qr_ = householder_qr(blocks_[0]);
+    r_top_ = blas::Matrix<T>(m, m);
+    for (int i = 0; i < m; ++i)
+      for (int j = i; j < m; ++j) r_top_(i, j) = qr_.r(i, j);
+  }
+
+  int block_dim() const noexcept { return blocks_[0].rows(); }
+  int bandwidth() const noexcept { return static_cast<int>(blocks_.size()); }
+
+  // Solves for the series coefficients x_0..x_K given rhs b_0..b_K
+  // (K + 1 = rhs.size(); blocks beyond the stored bandwidth are zero).
+  std::vector<blas::Vector<T>> solve(
+      const std::vector<blas::Vector<T>>& rhs) const {
+    const int m = block_dim();
+    std::vector<blas::Vector<T>> x;
+    x.reserve(rhs.size());
+    for (std::size_t k = 0; k < rhs.size(); ++k) {
+      assert(static_cast<int>(rhs[k].size()) == m);
+      blas::Vector<T> r = rhs[k];
+      // Convolution update: r -= sum_{j=1..min(k,band-1)} T_j x_{k-j}.
+      for (std::size_t j = 1; j < blocks_.size() && j <= k; ++j) {
+        auto t = blas::gemv(blocks_[j], std::span<const T>(x[k - j]));
+        for (int i = 0; i < m; ++i) r[i] -= t[i];
+      }
+      x.push_back(solve_diag(r));
+    }
+    return x;
+  }
+
+  // One triangular solve with the cached factorization of T_0.
+  blas::Vector<T> solve_diag(const blas::Vector<T>& r) const {
+    const int m = block_dim();
+    blas::Vector<T> y(m);
+    for (int j = 0; j < m; ++j) {
+      T s{};
+      for (int i = 0; i < m; ++i) s += blas::conj_of(qr_.q(i, j)) * r[i];
+      y[j] = s;
+    }
+    return back_substitute(r_top_, std::span<const T>(y));
+  }
+
+ private:
+  std::vector<blas::Matrix<T>> blocks_;
+  QrFactors<T> qr_;
+  blas::Matrix<T> r_top_;
+};
+
+}  // namespace mdlsq::core

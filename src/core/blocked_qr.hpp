@@ -1,0 +1,314 @@
+// Blocked accelerated Householder QR — Algorithm 2 of the paper — on the
+// device simulator, with the WY representation of aggregated reflectors
+// (Bischof & Van Loan).
+//
+// The factorization proceeds tile by tile over column panels of width n.
+// Per tile k (r0 = k*n, Lk = M - r0 active rows):
+//   stage 1, per column: "beta,v" builds the Householder vector and beta;
+//     "betaRT*v" forms the row update w = beta (v^H R_panel); "update R"
+//     applies R -= v w.
+//   stage 2: "compute W" accumulates W column by column via
+//     z = -beta (v + W (Y^H v))   — the paper's formula (16);
+//   stage 3: "Y*W^T" forms YWT = Y W^H once; "Q*WY^T" multiplies
+//     Q[:, r0:M] by WY^H = YWT^H; "Q+QWY" adds it in — formula (14);
+//   stage 4: "YWT*C" multiplies YWT into the trailing columns of R and
+//     "R+YWTC" adds — formula (15).
+// Stage names match the row legend of the paper's Tables 3-6.
+//
+// Every launch declares its exact analytic op tally (tally_rules.hpp);
+// the functional bodies are written so the measured tally matches it
+// exactly, which the test suite asserts.  In dry-run mode only the
+// schedule is priced (no data is touched), enabling the paper's largest
+// dimensions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "blas/vector_ops.hpp"
+#include "core/tally_rules.hpp"
+#include "device/launch.hpp"
+#include "device/staged.hpp"
+
+namespace mdlsq::core {
+
+namespace stage {
+inline constexpr const char* beta_v = "beta,v";
+inline constexpr const char* betaRTv = "betaRT*v";
+inline constexpr const char* update_R = "update R";
+inline constexpr const char* compute_W = "compute W";
+inline constexpr const char* YWT = "Y*W^T";
+inline constexpr const char* QWYT = "Q*WY^T";
+inline constexpr const char* YWTC = "YWT*C";
+inline constexpr const char* Q_plus_QWY = "Q+QWY";
+inline constexpr const char* R_plus_YWTC = "R+YWTC";
+}  // namespace stage
+
+inline constexpr int ceil_div(int a, int b) noexcept { return (a + b - 1) / b; }
+
+template <class T>
+struct BlockedQrOutput {
+  blas::Matrix<T> q;  // M-by-M unitary (functional mode only)
+  blas::Matrix<T> r;  // M-by-C upper triangular (functional mode only)
+};
+
+// Shared driver.  `a` must be non-null in functional mode and may be null
+// in dry-run mode; M-by-C with C = NT*n, M >= C.
+template <class T>
+BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
+                                  const blas::Matrix<T>* a, int M, int C,
+                                  int n) {
+  using traits = blas::scalar_traits<T>;
+  using RT = blas::real_of_t<T>;
+  using O = ops_of<T>;
+  using md::OpTally;
+
+  assert(n >= 1 && C % n == 0 && M >= C);
+  const int NT = C / n;
+  const bool fn = dev.functional();
+  assert(!fn || a != nullptr);
+  const std::int64_t esz = 8 * traits::doubles_per_element;
+
+  device::Staged2D<T> R, Q, Y, W, YWT, SCR;
+  if (fn) {
+    R = device::Staged2D<T>::from_host(*a);
+    Q = device::Staged2D<T>::from_host(blas::Matrix<T>::identity(M));
+    Y = device::Staged2D<T>(M, n);
+    W = device::Staged2D<T>(M, n);
+    YWT = device::Staged2D<T>(M, M);
+    SCR = device::Staged2D<T>(M, M);  // scratch for Q*WY^T and YWT*C
+  }
+  // Wall-clock transfer model: A in, Q and R out.
+  dev.transfer((2 * std::int64_t(M) * C + std::int64_t(M) * M) * esz);
+
+  std::vector<T> v(M), w(n), u(n);
+  std::vector<RT> betas(n);
+
+  for (int k = 0; k < NT; ++k) {
+    const int r0 = k * n;
+    const int Lk = M - r0;
+
+    // ---- stage 1: panel factorization, column by column ----------------
+    for (int l = 0; l < n; ++l) {
+      const int cg = r0 + l;   // global pivot column
+      const int L = M - cg;    // active column height
+
+      {  // (a) Householder vector and beta
+        const OpTally ops = (O::abs2() + real_add()) * (2 * L) + real_sqrt() +
+                            O::sign() + O::mul_real() + O::add() + real_div();
+        const OpTally serial =
+            (O::abs2() + real_add()) * (2 * ceil_div(L, n)) + real_sqrt() +
+            O::sign() + O::mul_real() + O::add() + real_div();
+        dev.launch(stage::beta_v, ceil_div(L, n), n, ops,
+                   (2 * std::int64_t(L) + Lk) * esz, serial, [&] {
+                     // Exact power-of-two column scaling guards against
+                     // underflow of squared limbs (see make_reflector);
+                     // the reflector (v, beta) is used in the scaled frame.
+                     double mx = 0.0;
+                     for (int i = 0; i < L; ++i) {
+                       v[i] = R.get(cg + i, cg);
+                       mx = std::max(mx, blas::lead_mag(v[i]));
+                     }
+                     const int e = mx == 0.0 ? 0 : std::ilogb(mx);
+                     RT sig2{};
+                     for (int i = 0; i < L; ++i) {
+                       v[i] = blas::scale2(v[i], -e);
+                       sig2 += blas::abs2(v[i]);
+                     }
+                     const RT sigma = sqrt(sig2);
+                     const T s = blas::sign_like(v[0]);
+                     const T t = s * sigma;
+                     v[0] += t;
+                     RT vtv{};
+                     for (int i = 0; i < L; ++i) vtv += blas::abs2(v[i]);
+                     betas[l] = RT(2.0) / vtv;
+                     for (int i = 0; i < Lk; ++i) {
+                       const int r = r0 + i;
+                       Y.set(r, l, r < cg ? T{} : v[r - cg]);
+                     }
+                     R.set(cg, cg, blas::scale2(-t, e));
+                     for (int i = 1; i < L; ++i) R.set(cg + i, cg, T{});
+                   });
+      }
+
+      const int P = n - l - 1;  // trailing columns within the panel
+      if (P > 0) {
+        {  // (b) w = beta (v^H R_panel)
+          const OpTally ops =
+              O::fma() * (std::int64_t(P) * L) + O::mul_real() * P;
+          // Multi-block sum reduction: each block reduces an n-strip of the
+          // column serially before the cross-block combine.
+          const OpTally serial =
+              O::fma() * std::min(L, n) + O::add() * 6 + O::mul_real();
+          dev.launch(stage::betaRTv, P, n, ops,
+                     (std::int64_t(P) * L + L + P) * esz, serial, [&] {
+                       for (int t = 0; t < P; ++t) {
+                         const int col = cg + 1 + t;
+                         T s{};
+                         for (int i = 0; i < L; ++i)
+                           s += blas::conj_of(v[i]) * R.get(cg + i, col);
+                         w[t] = s * betas[l];
+                       }
+                     });
+        }
+        {  // (c) R_panel -= v w
+          const OpTally ops = O::fms() * (std::int64_t(P) * L);
+          const OpTally serial = O::fms() * ceil_div(L, n);
+          dev.launch(stage::update_R, P, n, ops,
+                     (2 * std::int64_t(P) * L + L + P) * esz, serial, [&] {
+                       for (int t = 0; t < P; ++t) {
+                         const int col = cg + 1 + t;
+                         for (int i = 0; i < L; ++i)
+                           R.set(cg + i, col,
+                                 R.get(cg + i, col) - v[i] * w[t]);
+                       }
+                     });
+        }
+      }
+    }
+
+    // ---- stage 2: compute W (formula (16)) ------------------------------
+    for (int l = 0; l < n; ++l) {
+      if (l == 0) {
+        const OpTally ops = O::mul_real() * Lk;
+        dev.launch(stage::compute_W, ceil_div(Lk, n), n, ops,
+                   2 * std::int64_t(Lk) * esz,
+                   O::mul_real() * ceil_div(Lk, n), [&] {
+                     const RT nb = -betas[0];
+                     for (int i = 0; i < Lk; ++i)
+                       W.set(r0 + i, 0, Y.get(r0 + i, 0) * nb);
+                   });
+      } else {
+        {  // u = Y[:,0:l]^H v_l  (multi-block matrix-vector + reduction)
+          const OpTally ops = O::fma() * (std::int64_t(l) * Lk);
+          const OpTally serial = O::fma() * ceil_div(Lk, n) + O::add() * 6;
+          dev.launch(stage::compute_W, l, n, ops,
+                     ((std::int64_t(l) + 1) * Lk + l) * esz, serial, [&] {
+                       for (int j = 0; j < l; ++j) {
+                         T s{};
+                         for (int i = 0; i < Lk; ++i)
+                           s += blas::conj_of(Y.get(r0 + i, j)) *
+                                Y.get(r0 + i, l);
+                         u[j] = s;
+                       }
+                     });
+        }
+        {  // z = -beta (v + W u)
+          const OpTally ops = O::fma() * (std::int64_t(l) * Lk) +
+                              (O::add() + O::mul_real()) * Lk;
+          // Each thread owns ceil(Lk/n) rows of the W u product and walks
+          // their l columns serially — the W bottleneck of the paper.
+          const OpTally serial =
+              O::fma() * (std::int64_t(l) * ceil_div(Lk, n)) + O::add() +
+              O::mul_real();
+          dev.launch(stage::compute_W, ceil_div(Lk, n), n, ops,
+                     ((std::int64_t(l) + 2) * Lk + l) * esz, serial, [&] {
+                       const RT nb = -betas[l];
+                       for (int i = 0; i < Lk; ++i) {
+                         T s{};
+                         for (int j = 0; j < l; ++j)
+                           s += W.get(r0 + i, j) * u[j];
+                         W.set(r0 + i, l, (Y.get(r0 + i, l) + s) * nb);
+                       }
+                     });
+        }
+      }
+    }
+
+    // ---- stage 3: update Q (formula (14)) --------------------------------
+    {  // YWT = Y W^H, nonzero only on the active [r0,M) x [r0,M) block
+      if (fn)  // clear the stale previous tile's active block (no md ops)
+        for (int i = 0; i < M; ++i)
+          for (int j = 0; j < M; ++j) YWT.set(i, j, T{});
+      const OpTally ops = O::fma() * (std::int64_t(Lk) * Lk * n);
+      dev.launch(stage::YWT, Lk * ceil_div(Lk, n), n, ops,
+                 (2 * std::int64_t(Lk) * n + std::int64_t(Lk) * Lk) * esz,
+                 O::fma() * n, [&] {
+                   for (int i = 0; i < Lk; ++i)
+                     for (int j = 0; j < Lk; ++j) {
+                       T s{};
+                       for (int t = 0; t < n; ++t)
+                         s += Y.get(r0 + i, t) *
+                              blas::conj_of(W.get(r0 + j, t));
+                       YWT.set(r0 + i, r0 + j, s);
+                     }
+                 });
+    }
+    {  // QWY = Q (YWT)^H — the full M-by-M product of the paper's kernel
+      const OpTally ops = O::fma() * (std::int64_t(M) * M * M);
+      dev.launch(stage::QWYT, ceil_div(M * M, n), n, ops,
+                 3 * std::int64_t(M) * M * esz, O::fma() * M, [&] {
+                   for (int i = 0; i < M; ++i)
+                     for (int j = 0; j < M; ++j) {
+                       T s{};
+                       for (int t = 0; t < M; ++t)
+                         s += Q.get(i, t) * blas::conj_of(YWT.get(j, t));
+                       SCR.set(i, j, s);
+                     }
+                 });
+    }
+    {  // Q += QWY
+      const OpTally ops = O::add() * (std::int64_t(M) * M);
+      dev.launch(stage::Q_plus_QWY, ceil_div(M * M, n), n, ops,
+                 3 * std::int64_t(M) * M * esz, O::add(), [&] {
+                   for (int i = 0; i < M; ++i)
+                     for (int j = 0; j < M; ++j)
+                       Q.set(i, j, Q.get(i, j) + SCR.get(i, j));
+                 });
+    }
+
+    // ---- stage 4: update the trailing columns of R (formula (15)) -------
+    const int ce = r0 + n;
+    const int tc = C - ce;  // trailing columns
+    if (tc > 0) {
+      {  // YWTC = YWT C over all M rows (rows above r0 contribute zeros)
+        const OpTally ops = O::fma() * (std::int64_t(M) * M * tc);
+        dev.launch(stage::YWTC, ceil_div(M * tc, n), n, ops,
+                   (std::int64_t(M) * M + 2 * std::int64_t(M) * tc) * esz,
+                   O::fma() * M, [&] {
+                     for (int i = 0; i < M; ++i)
+                       for (int j = 0; j < tc; ++j) {
+                         T s{};
+                         for (int t = 0; t < M; ++t)
+                           s += YWT.get(i, t) * R.get(t, ce + j);
+                         SCR.set(i, j, s);
+                       }
+                   });
+      }
+      {  // R += YWTC
+        const OpTally ops = O::add() * (std::int64_t(M) * tc);
+        dev.launch(stage::R_plus_YWTC, ceil_div(M * tc, n), n, ops,
+                   3 * std::int64_t(M) * tc * esz, O::add(), [&] {
+                     for (int i = 0; i < M; ++i)
+                       for (int j = 0; j < tc; ++j)
+                         R.set(i, ce + j, R.get(i, ce + j) + SCR.get(i, j));
+                   });
+      }
+    }
+  }
+
+  BlockedQrOutput<T> out;
+  if (fn) {
+    out.q = Q.to_host();
+    out.r = R.to_host();
+  }
+  return out;
+}
+
+// Functional entry point: factor a real matrix that exists on the host.
+template <class T>
+BlockedQrOutput<T> blocked_qr(device::Device& dev, const blas::Matrix<T>& a,
+                              int tile) {
+  return blocked_qr_run<T>(dev, &a, a.rows(), a.cols(), tile);
+}
+
+// Dry-run entry point: walk and price the schedule for given dimensions.
+template <class T>
+void blocked_qr_dry(device::Device& dev, int rows, int cols, int tile) {
+  assert(dev.mode() == device::ExecMode::dry_run);
+  blocked_qr_run<T>(dev, nullptr, rows, cols, tile);
+}
+
+}  // namespace mdlsq::core

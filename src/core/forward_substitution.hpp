@@ -1,0 +1,161 @@
+// Forward substitution for lower triangular systems — host reference and
+// the tiled accelerated variant.
+//
+// The paper's motivating application (Section 1.1) solves LOWER triangular
+// block Toeplitz systems whose diagonal blocks are the Jacobian at the
+// current path point; this module is the mirror image of Algorithm 1 for
+// that orientation: invert the diagonal tiles (thread k of block i solves
+// L_i v = e_k by forward substitution), then walk the tiles top-down,
+// multiplying with the inverses and updating the right-hand sides BELOW
+// the current tile in one concurrent wave.  Stage names parallel the back
+// substitution so the same table machinery applies.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "core/tally_rules.hpp"
+#include "device/launch.hpp"
+#include "device/staged.hpp"
+
+namespace mdlsq::core {
+
+namespace stage {
+inline constexpr const char* fs_invert = "invert diagonal tiles (fwd)";
+inline constexpr const char* fs_multiply = "multiply with inverses (fwd)";
+inline constexpr const char* fs_update = "forward substitution";
+}  // namespace stage
+
+// Host reference: solves L x = b for lower triangular L.
+template <class T>
+blas::Vector<T> forward_substitute(const blas::Matrix<T>& l,
+                                   std::span<const T> b) {
+  const int n = l.rows();
+  assert(l.cols() == n && static_cast<int>(b.size()) == n);
+  blas::Vector<T> x(n);
+  for (int i = 0; i < n; ++i) {
+    T s = b[i];
+    for (int j = 0; j < i; ++j) s -= l(i, j) * x[j];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+// Device driver; `l` and `b` non-null in functional mode.
+template <class T>
+blas::Vector<T> tiled_forward_sub_run(device::Device& dev,
+                                      const blas::Matrix<T>* l,
+                                      const blas::Vector<T>* b, int nt,
+                                      int n) {
+  using traits = blas::scalar_traits<T>;
+  using O = ops_of<T>;
+  using md::OpTally;
+
+  assert(nt >= 1 && n >= 1);
+  const int dim = nt * n;
+  const bool fn = dev.functional();
+  assert(!fn || (l != nullptr && b != nullptr && l->rows() == dim &&
+                 l->cols() == dim && static_cast<int>(b->size()) == dim));
+  const std::int64_t esz = 8 * traits::doubles_per_element;
+
+  device::Staged2D<T> L;
+  device::Staged1D<T> X;
+  if (fn) {
+    L = device::Staged2D<T>::from_host(*l);
+    X = device::Staged1D<T>::from_host(*b);
+  }
+  dev.transfer((std::int64_t(dim) * dim + 2 * dim) * esz);
+
+  {  // stage 1: invert the diagonal tiles in place
+    // Column k of the inverse of a lower triangular tile: v_k = 1/l_kk,
+    // then forward sweep for rows j > k.
+    const std::int64_t fma_tile = std::int64_t(n) * (n - 1) * (n + 1) / 6;
+    const std::int64_t div_tile = std::int64_t(n) * (n + 1) / 2;
+    const OpTally ops =
+        O::fma() * (fma_tile * nt) + O::div() * (div_tile * nt);
+    const OpTally serial =
+        O::fma() * (std::int64_t(n) * (n - 1) / 2) + O::div() * n;
+    dev.launch(stage::fs_invert, nt, n, ops,
+               2 * std::int64_t(nt) * n * n * esz, serial, [&] {
+                 std::vector<T> vinv(std::size_t(n) * n);
+                 for (int tile = 0; tile < nt; ++tile) {
+                   const int d = tile * n;
+                   for (int k = 0; k < n; ++k) {
+                     std::vector<T> v(n);
+                     v[k] = T(1.0) / L.get(d + k, d + k);
+                     for (int j = k + 1; j < n; ++j) {
+                       T s{};
+                       for (int t = k; t < j; ++t)
+                         s += L.get(d + j, d + t) * v[t];
+                       v[j] = -s / L.get(d + j, d + j);
+                     }
+                     for (int j = 0; j < n; ++j)
+                       vinv[std::size_t(j) * n + k] = v[j];
+                   }
+                   for (int i = 0; i < n; ++i)
+                     for (int j = 0; j < n; ++j)
+                       L.set(d + i, d + j, vinv[std::size_t(i) * n + j]);
+                 }
+               });
+  }
+
+  // stage 2: top-down traversal
+  std::vector<T> xi(n);
+  for (int i = 0; i < nt; ++i) {
+    const int d = i * n;
+    {  // x_i = L_i^{-1} b_i
+      const OpTally ops = O::fma() * (std::int64_t(n) * n);
+      dev.launch(stage::fs_multiply, 1, n, ops,
+                 (std::int64_t(n) * n + 2 * n) * esz, O::fma() * n, [&] {
+                   for (int r = 0; r < n; ++r) {
+                     T s{};
+                     for (int t = 0; t < n; ++t)
+                       s += L.get(d + r, d + t) * X.get(d + t);
+                     xi[r] = s;
+                   }
+                   for (int r = 0; r < n; ++r) X.set(d + r, xi[r]);
+                 });
+    }
+    const int below = nt - 1 - i;
+    if (below > 0) {  // b_j -= A_{j,i} x_i for all j > i, one wave
+      const OpTally ops =
+          (O::fma() * n + O::sub()) * (std::int64_t(below) * n);
+      const OpTally serial = O::fma() * n + O::sub();
+      dev.launch(stage::fs_update, below, n, ops,
+                 (std::int64_t(below) * n * n + 2 * std::int64_t(below) * n +
+                  n) * esz,
+                 serial, [&] {
+                   for (int j = i + 1; j < nt; ++j)
+                     for (int r = 0; r < n; ++r) {
+                       T s{};
+                       for (int t = 0; t < n; ++t)
+                         s += L.get(j * n + r, d + t) * X.get(d + t);
+                       X.set(j * n + r, X.get(j * n + r) - s);
+                     }
+                 });
+    }
+  }
+
+  return fn ? X.to_host() : blas::Vector<T>{};
+}
+
+// Functional entry point: solve L x = b.
+template <class T>
+blas::Vector<T> tiled_forward_sub(device::Device& dev,
+                                  const blas::Matrix<T>& l,
+                                  const blas::Vector<T>& b, int tiles,
+                                  int tile_size) {
+  return tiled_forward_sub_run<T>(dev, &l, &b, tiles, tile_size);
+}
+
+// Dry-run entry point.
+template <class T>
+void tiled_forward_sub_dry(device::Device& dev, int tiles, int tile_size) {
+  assert(dev.mode() == device::ExecMode::dry_run);
+  tiled_forward_sub_run<T>(dev, nullptr, nullptr, tiles, tile_size);
+}
+
+}  // namespace mdlsq::core

@@ -1,0 +1,109 @@
+// Reference (host) Householder QR factorization with explicit Q
+// accumulation, real and complex, any multiple-double precision.
+// Numerically stable (Demmel, Applied Numerical Linear Algebra, Thm 3.5);
+// follows Golub & Van Loan Algorithm 5.1.1 for the reflector sign choice.
+//
+// This is the unblocked baseline the accelerated blocked factorization is
+// tested against, and the CPU comparator of the benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+
+#include "blas/matrix.hpp"
+#include "blas/vector_ops.hpp"
+
+namespace mdlsq::core {
+
+template <class T>
+struct QrFactors {
+  blas::Matrix<T> q;  // M-by-M, unitary: Q^H Q = I
+  blas::Matrix<T> r;  // M-by-C, upper triangular
+};
+
+// Computes one Householder reflector for the vector x (length >= 1):
+// returns (v, beta) with P = I - beta v v^H and P x = -sign(x_0) |x| e_1.
+// If x is already a multiple of e_1 with zero tail the reflector still
+// annihilates consistently (beta = 0 when x = 0).
+template <class T>
+struct Reflector {
+  blas::Vector<T> v;
+  blas::real_of_t<T> beta{};
+  T head{};  // the value P x places at the pivot: -sign(x0)*|x|
+};
+
+// The column is scaled by an exact power of two before squaring so that
+// reflectors of tiny columns (e.g. the cancellation residue of a rank
+// deficient panel) do not underflow: multiple doubles share the double
+// exponent range, and squaring a 1e-240 limb flushes to zero.  The
+// reflector P = I - beta v v^H is invariant under v -> c v, beta -> c^-2
+// beta, so v and beta are returned in the scaled frame; only `head`
+// (the reflected pivot value) is scaled back.
+template <class T>
+Reflector<T> make_reflector(std::span<const T> x) {
+  using RT = blas::real_of_t<T>;
+  Reflector<T> h;
+  h.v.assign(x.begin(), x.end());
+  double mx = 0.0;
+  for (const T& xi : x) mx = std::max(mx, blas::lead_mag(xi));
+  if (mx == 0.0) {
+    h.beta = RT(0.0);
+    h.head = T{};
+    return h;
+  }
+  const int e = std::ilogb(mx);
+  for (T& vi : h.v) vi = blas::scale2(vi, -e);
+  const RT sig2 = blas::norm2_sq(std::span<const T>(h.v));
+  const RT sigma = sqrt(sig2);
+  const T s = blas::sign_like(h.v[0]);
+  const T t = s * sigma;
+  h.v[0] += t;
+  const RT vtv = blas::norm2_sq(std::span<const T>(h.v));
+  h.beta = RT(2.0) / vtv;
+  h.head = blas::scale2(-t, e);
+  return h;
+}
+
+// A = Q R, Q is M-by-M unitary, R M-by-C upper triangular.  Requires
+// M >= C.
+template <class T>
+QrFactors<T> householder_qr(const blas::Matrix<T>& a) {
+  const int m = a.rows(), c = a.cols();
+  assert(m >= c);
+  QrFactors<T> f{blas::Matrix<T>::identity(m), a};
+
+  blas::Vector<T> u(m);
+  for (int k = 0; k < c; ++k) {
+    const int len = m - k;
+    blas::Vector<T> x(len);
+    for (int i = 0; i < len; ++i) x[i] = f.r(k + i, k);
+    Reflector<T> h = make_reflector<T>(std::span<const T>(x));
+    if (h.beta.is_zero()) continue;
+
+    // R[k:, k] gets the exact reflected column.
+    f.r(k, k) = h.head;
+    for (int i = 1; i < len; ++i) f.r(k + i, k) = T{};
+
+    // R[k:, j] -= v * (beta * (v^H R[k:, j])) for trailing columns.
+    for (int j = k + 1; j < c; ++j) {
+      T w{};
+      for (int i = 0; i < len; ++i) w += blas::conj_of(h.v[i]) * f.r(k + i, j);
+      w = w * h.beta;
+      for (int i = 0; i < len; ++i) f.r(k + i, j) -= h.v[i] * w;
+    }
+
+    // Q := Q P = Q - beta (Q v) v^H.
+    for (int i = 0; i < m; ++i) {
+      T s{};
+      for (int t = 0; t < len; ++t) s += f.q(i, k + t) * h.v[t];
+      u[i] = s * h.beta;
+    }
+    for (int i = 0; i < m; ++i)
+      for (int t = 0; t < len; ++t)
+        f.q(i, k + t) -= u[i] * blas::conj_of(h.v[t]);
+  }
+  return f;
+}
+
+}  // namespace mdlsq::core

@@ -1,0 +1,86 @@
+// The least-squares solver: blocked Householder QR (Algorithm 2) followed
+// by Q^H b and the tiled accelerated back substitution (Algorithm 1) on
+// the leading C-by-C block of R — the paper's headline pipeline (Section
+// 4.9, Table 11).  Solves min_x ||b - A x||_2 for M-by-C matrices, M >= C,
+// real or complex, in any multiple-double precision.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/blocked_qr.hpp"
+#include "core/tiled_back_sub.hpp"
+
+namespace mdlsq::core {
+
+namespace stage {
+inline constexpr const char* qhb = "Q^H*b";
+}
+
+template <class T>
+struct LeastSquaresResult {
+  blas::Vector<T> x;       // functional mode only
+  double qr_kernel_ms = 0;  // modeled kernel time of the QR phase
+  double bs_kernel_ms = 0;  // modeled kernel time of Q^H b + back subst.
+};
+
+template <class T>
+LeastSquaresResult<T> least_squares_run(device::Device& dev,
+                                        const blas::Matrix<T>* a,
+                                        const blas::Vector<T>* b, int M,
+                                        int C, int tile) {
+  using O = ops_of<T>;
+  assert(C % tile == 0 && M >= C);
+  const bool fn = dev.functional();
+  assert(!fn || (a != nullptr && b != nullptr));
+  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+
+  LeastSquaresResult<T> out;
+  BlockedQrOutput<T> f = blocked_qr_run<T>(dev, a, M, C, tile);
+  out.qr_kernel_ms = dev.kernel_ms();
+
+  // y = (Q^H b)[0:C], one block per output entry.
+  blas::Vector<T> y(C);
+  {
+    const md::OpTally ops = O::fma() * (std::int64_t(M) * C);
+    const md::OpTally serial = O::fma() * ceil_div(M, tile) + O::add() * 6;
+    dev.launch(stage::qhb, C, tile, ops,
+               (std::int64_t(M) * C + M + C) * esz, serial, [&] {
+                 for (int j = 0; j < C; ++j) {
+                   T s{};
+                   for (int i = 0; i < M; ++i)
+                     s += blas::conj_of(f.q(i, j)) * (*b)[i];
+                   y[j] = s;
+                 }
+               });
+  }
+
+  if (fn) {
+    blas::Matrix<T> r_top(C, C);
+    for (int i = 0; i < C; ++i)
+      for (int j = i; j < C; ++j) r_top(i, j) = f.r(i, j);
+    out.x = tiled_back_sub_run<T>(dev, &r_top, &y, C / tile, tile);
+  } else {
+    tiled_back_sub_run<T>(dev, nullptr, nullptr, C / tile, tile);
+  }
+  out.bs_kernel_ms = dev.kernel_ms() - out.qr_kernel_ms;
+  return out;
+}
+
+// Functional entry point.
+template <class T>
+LeastSquaresResult<T> least_squares(device::Device& dev,
+                                    const blas::Matrix<T>& a,
+                                    const blas::Vector<T>& b, int tile) {
+  return least_squares_run<T>(dev, &a, &b, a.rows(), a.cols(), tile);
+}
+
+// Dry-run entry point.
+template <class T>
+LeastSquaresResult<T> least_squares_dry(device::Device& dev, int rows,
+                                        int cols, int tile) {
+  assert(dev.mode() == device::ExecMode::dry_run);
+  return least_squares_run<T>(dev, nullptr, nullptr, rows, cols, tile);
+}
+
+}  // namespace mdlsq::core

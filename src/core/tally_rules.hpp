@@ -1,0 +1,87 @@
+// Analytic operation-count rules.
+//
+// Every kernel launch declares its multiple-double operation tally so the
+// dry-run mode (no data, no body execution) prices the identical schedule.
+// The rules below state how many *real* multiple-double operations each
+// scalar operation of the kernel bodies expands into; for complex scalars
+// they mirror md::mdcomplex's operator implementations exactly, and the
+// test suite asserts measured == analytic per stage, which pins these
+// formulas to the code.
+#pragma once
+
+#include <cstdint>
+
+#include "blas/scalar.hpp"
+#include "md/op_counts.hpp"
+
+namespace mdlsq::core {
+
+// Scale a tally by a repetition count.
+constexpr md::OpTally operator*(md::OpTally t, std::int64_t k) noexcept {
+  t.add *= k;
+  t.sub *= k;
+  t.mul *= k;
+  t.div *= k;
+  t.sqrt *= k;
+  return t;
+}
+constexpr md::OpTally operator*(std::int64_t k, const md::OpTally& t) noexcept {
+  return t * k;
+}
+
+// Plain real-scalar op tallies.
+constexpr md::OpTally real_add() noexcept { return {.add = 1}; }
+constexpr md::OpTally real_sub() noexcept { return {.sub = 1}; }
+constexpr md::OpTally real_mul() noexcept { return {.mul = 1}; }
+constexpr md::OpTally real_div() noexcept { return {.div = 1}; }
+constexpr md::OpTally real_sqrt() noexcept { return {.sqrt = 1}; }
+
+// Expansion of one scalar operation on T into real multiple-double ops.
+template <class T>
+struct ops_of {
+  // real specialization (primary template covers mdreal<N>)
+  static constexpr md::OpTally add() noexcept { return {.add = 1}; }
+  static constexpr md::OpTally sub() noexcept { return {.sub = 1}; }
+  static constexpr md::OpTally mul() noexcept { return {.mul = 1}; }
+  static constexpr md::OpTally div() noexcept { return {.div = 1}; }
+  // x * (real scalar)
+  static constexpr md::OpTally mul_real() noexcept { return {.mul = 1}; }
+  // |x|^2 as in blas::abs2
+  static constexpr md::OpTally abs2() noexcept { return {.mul = 1}; }
+  // blas::sign_like
+  static constexpr md::OpTally sign() noexcept { return {}; }
+  // one fused multiply-add pair s += a*b
+  static constexpr md::OpTally fma() noexcept { return {.add = 1, .mul = 1}; }
+  // one s -= a*b pair
+  static constexpr md::OpTally fms() noexcept { return {.sub = 1, .mul = 1}; }
+};
+
+template <int N>
+struct ops_of<md::mdcomplex<N>> {
+  // mdcomplex operator+: two real adds.
+  static constexpr md::OpTally add() noexcept { return {.add = 2}; }
+  static constexpr md::OpTally sub() noexcept { return {.sub = 2}; }
+  // (a.re b.re - a.im b.im, a.re b.im + a.im b.re)
+  static constexpr md::OpTally mul() noexcept {
+    return {.add = 1, .sub = 1, .mul = 4};
+  }
+  // via norm(b) and two scaled numerators
+  static constexpr md::OpTally div() noexcept {
+    return {.add = 2, .sub = 1, .mul = 6, .div = 2};
+  }
+  static constexpr md::OpTally mul_real() noexcept { return {.mul = 2}; }
+  // norm(z) = re*re + im*im
+  static constexpr md::OpTally abs2() noexcept { return {.add = 1, .mul = 2}; }
+  // sign_like: abs(z) = sqrt(norm(z)), then z / |z| (complex over real)
+  static constexpr md::OpTally sign() noexcept {
+    return {.add = 1, .mul = 2, .div = 2, .sqrt = 1};
+  }
+  static constexpr md::OpTally fma() noexcept {
+    return add() + mul();
+  }
+  static constexpr md::OpTally fms() noexcept {
+    return sub() + mul();
+  }
+};
+
+}  // namespace mdlsq::core

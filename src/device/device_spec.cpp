@@ -1,0 +1,78 @@
+#include "device/device_spec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace mdlsq::device {
+
+namespace {
+DeviceSpec make(std::string name, double cap, int sms, int cores_per_sm,
+                double clock_ghz, std::string host, double host_ghz,
+                double peak_dp, double bw, double pcie) {
+  DeviceSpec d;
+  d.name = std::move(name);
+  d.cuda_capability = cap;
+  d.sms = sms;
+  d.cores_per_sm = cores_per_sm;
+  d.clock_ghz = clock_ghz;
+  d.host_cpu = std::move(host);
+  d.host_ghz = host_ghz;
+  d.peak_dp_gflops = peak_dp;
+  d.mem_bw_gbs = bw;
+  d.pcie_gbs = pcie;
+  return d;
+}
+}  // namespace
+
+const DeviceSpec& tesla_c2050() {
+  static const DeviceSpec d = make("Tesla C2050", 2.0, 14, 32, 1.15,
+                                   "Intel X5690", 3.47, 515.0, 144.0, 5.0);
+  return d;
+}
+
+const DeviceSpec& kepler_k20c() {
+  static const DeviceSpec d = make("Kepler K20C", 3.5, 13, 192, 0.71,
+                                   "Intel E5-2670", 2.60, 1170.0, 208.0, 5.5);
+  return d;
+}
+
+const DeviceSpec& pascal_p100() {
+  static const DeviceSpec d = make("Pascal P100", 6.0, 56, 64, 1.33,
+                                   "Intel E5-2699", 2.20, 4700.0, 732.0, 11.0);
+  return d;
+}
+
+const DeviceSpec& volta_v100() {
+  static const DeviceSpec d = make("Volta V100", 7.0, 80, 64, 1.91,
+                                   "Intel W2123", 3.60, 7900.0, 870.0, 12.0);
+  return d;
+}
+
+const DeviceSpec& geforce_rtx2080() {
+  // Laptop (Max-Q) part; FP64 at 1/32 of FP32 rate.
+  static const DeviceSpec d = make("GeForce RTX 2080", 7.5, 46, 64, 1.10,
+                                   "Intel i9-9880H", 2.30, 320.0, 448.0, 11.0);
+  return d;
+}
+
+std::span<const DeviceSpec* const> all_devices() {
+  static const std::array<const DeviceSpec*, 5> all = {
+      &tesla_c2050(), &kepler_k20c(), &pascal_p100(), &volta_v100(),
+      &geforce_rtx2080()};
+  return all;
+}
+
+const DeviceSpec* find_device(const std::string& name) {
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+  };
+  const std::string needle = lower(name);
+  for (const DeviceSpec* d : all_devices())
+    if (lower(d->name).find(needle) != std::string::npos) return d;
+  return nullptr;
+}
+
+}  // namespace mdlsq::device

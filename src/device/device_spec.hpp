@@ -1,0 +1,49 @@
+// The five NVIDIA GPUs of the paper's Table 2, extended with the published
+// peak double-precision rates and memory bandwidths that drive the timing
+// model.  No CUDA device exists in this environment: these specs
+// parameterize the device *model* (see timing_model.hpp and DESIGN.md §1).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace mdlsq::device {
+
+struct DeviceSpec {
+  std::string name;
+  double cuda_capability = 0.0;
+  int sms = 0;            // streaming multiprocessors
+  int cores_per_sm = 0;   // CUDA cores per multiprocessor
+  double clock_ghz = 0.0;
+  std::string host_cpu;
+  double host_ghz = 0.0;
+
+  // Model parameters (not in the paper's Table 2; from vendor data sheets,
+  // with the RTX 2080's double-precision rate reflecting its 1/32 FP64
+  // ratio).
+  double peak_dp_gflops = 0.0;
+  double mem_bw_gbs = 0.0;   // global memory bandwidth
+  double pcie_gbs = 0.0;     // host <-> device transfer bandwidth
+
+  int cores() const noexcept { return sms * cores_per_sm; }
+  // Fraction of core-issue slots that can retire a double-precision op:
+  // ~0.5 for full-rate FP64 parts, ~1/32 for the consumer RTX 2080.
+  double dp_ratio() const noexcept {
+    return peak_dp_gflops / (cores() * clock_ghz * 2.0);
+  }
+};
+
+// Table 2 of the paper.
+const DeviceSpec& tesla_c2050();
+const DeviceSpec& kepler_k20c();
+const DeviceSpec& pascal_p100();
+const DeviceSpec& volta_v100();
+const DeviceSpec& geforce_rtx2080();
+
+// All five, in the paper's order.
+std::span<const DeviceSpec* const> all_devices();
+
+// Lookup by (case-insensitive substring of) name; returns nullptr if absent.
+const DeviceSpec* find_device(const std::string& name);
+
+}  // namespace mdlsq::device

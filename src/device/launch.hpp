@@ -1,0 +1,150 @@
+// The kernel launch engine of the device simulator.
+//
+// A Device executes kernels in one of two modes:
+//   * functional — the kernel body really runs (on the host) against
+//     staged device storage, and the multiple-double operations it
+//     executes are measured via the thread-local tally;
+//   * dry_run    — the body is skipped; only the analytic operation and
+//     byte counts supplied at the launch site are recorded.  This walks
+//     the *identical* launch schedule without allocating matrices, which
+//     is how the large-dimension experiments are priced (DESIGN.md §1).
+//
+// In both modes the kernel time is modeled from the analytic counts, so
+// modeled times are mode-independent; the test suite asserts that the
+// measured and analytic tallies agree exactly, which pins the analytic
+// formulas to the real algorithm.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/device_spec.hpp"
+#include "device/timing_model.hpp"
+#include "md/op_counts.hpp"
+
+namespace mdlsq::device {
+
+enum class ExecMode { functional, dry_run };
+
+// Per-stage aggregate over all launches attributed to that stage.  Stages
+// appear in first-launch order, matching the row order of the paper's
+// tables.
+struct StageStats {
+  std::string name;
+  std::int64_t launches = 0;
+  std::int64_t blocks = 0;     // total blocks over all launches
+  md::OpTally analytic;        // declared op counts
+  md::OpTally measured;        // counted from functional bodies
+  std::int64_t bytes = 0;      // compulsory global-memory traffic
+  double kernel_ms = 0.0;      // modeled kernel time
+};
+
+class Device {
+ public:
+  Device(const DeviceSpec& spec, md::Precision prec, ExecMode mode,
+         TimingParams params = default_params())
+      : spec_(&spec), prec_(prec), mode_(mode), tp_(params) {}
+
+  const DeviceSpec& spec() const noexcept { return *spec_; }
+  md::Precision precision() const noexcept { return prec_; }
+  ExecMode mode() const noexcept { return mode_; }
+  bool functional() const noexcept { return mode_ == ExecMode::functional; }
+
+  // Launches one kernel.
+  //   stage    row label (paper table legend) this launch aggregates under
+  //   blocks, threads   launch configuration
+  //   ops      analytic multiple-double operation count of the launch
+  //   bytes    analytic compulsory global-memory bytes of the launch
+  //   serial   longest per-thread dependency chain (md ops); zero means
+  //            "assume uniform": ops / (blocks*threads)
+  //   body     the kernel, run only in functional mode
+  template <class F>
+  void launch(std::string_view stage, int blocks, int threads,
+              const md::OpTally& ops, std::int64_t bytes,
+              const md::OpTally& serial, F&& body) {
+    StageStats& st = slot(stage);
+    st.launches += 1;
+    st.blocks += blocks;
+    st.analytic += ops;
+    st.bytes += bytes;
+    st.kernel_ms += kernel_time_ms(*spec_, prec_, ops, bytes, blocks, threads,
+                                   serial, tp_);
+    if (mode_ == ExecMode::functional) {
+      md::ScopedTally scope(st.measured);
+      body();
+    }
+  }
+
+  // Records a host <-> device transfer of `bytes` (wall-clock model only).
+  void transfer(std::int64_t bytes) noexcept { transfer_bytes_ += bytes; }
+
+  const std::vector<StageStats>& stages() const noexcept { return stages_; }
+
+  std::int64_t launches() const noexcept {
+    std::int64_t n = 0;
+    for (const auto& s : stages_) n += s.launches;
+    return n;
+  }
+  md::OpTally analytic_total() const noexcept {
+    md::OpTally t;
+    for (const auto& s : stages_) t += s.analytic;
+    return t;
+  }
+  md::OpTally measured_total() const noexcept {
+    md::OpTally t;
+    for (const auto& s : stages_) t += s.measured;
+    return t;
+  }
+  std::int64_t bytes_total() const noexcept {
+    std::int64_t b = 0;
+    for (const auto& s : stages_) b += s.bytes;
+    return b;
+  }
+
+  // Modeled times, milliseconds; flop rates in gigaflops, following the
+  // paper's convention: kernel flops over kernel time, total flops over
+  // wall time.
+  double kernel_ms() const noexcept {
+    double t = 0;
+    for (const auto& s : stages_) t += s.kernel_ms;
+    return t;
+  }
+  double wall_ms() const noexcept {
+    return kernel_ms() + transfer_time_ms(*spec_, transfer_bytes_, tp_);
+  }
+  double dp_flops() const noexcept { return analytic_total().dp_flops(prec_); }
+  double kernel_gflops() const noexcept {
+    const double ms = kernel_ms();
+    return ms > 0 ? dp_flops() / (ms * 1e6) : 0.0;
+  }
+  double wall_gflops() const noexcept {
+    const double ms = wall_ms();
+    return ms > 0 ? dp_flops() / (ms * 1e6) : 0.0;
+  }
+
+  void reset() {
+    stages_.clear();
+    transfer_bytes_ = 0;
+  }
+
+ private:
+  StageStats& slot(std::string_view name) {
+    for (auto& s : stages_)
+      if (s.name == name) return s;
+    stages_.emplace_back();
+    stages_.back().name = std::string(name);
+    return stages_.back();
+  }
+
+  const DeviceSpec* spec_;
+  md::Precision prec_;
+  ExecMode mode_;
+  TimingParams tp_;
+  std::vector<StageStats> stages_;
+  std::int64_t transfer_bytes_ = 0;
+};
+
+}  // namespace mdlsq::device

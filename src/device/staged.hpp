@@ -1,0 +1,121 @@
+// Staged device storage (paper, end of Section 2): a matrix of
+// multiple-double numbers is NOT stored as an array of m-limb structs but
+// as m separate matrices of doubles, ordered most significant first, so
+// that adjacent threads read adjacent doubles (memory coalescing).
+// Complex data keeps separate real and imaginary stages.
+//
+// Staged2D is the device-side container the accelerated kernels operate
+// on; conversion to and from the host Matrix is the "transfer" of the
+// wall-clock model.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "blas/scalar.hpp"
+
+namespace mdlsq::device {
+
+template <class T>
+class Staged2D {
+  using traits = blas::scalar_traits<T>;
+  static constexpr int kLimbs = traits::limbs;
+  static constexpr int kPlanes = traits::doubles_per_element;
+
+ public:
+  Staged2D() = default;
+  Staged2D(int rows, int cols)
+      : rows_(rows), cols_(cols), plane_(std::size_t(rows) * cols),
+        d_(plane_ * kPlanes) {}
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  std::int64_t bytes() const noexcept {
+    return static_cast<std::int64_t>(d_.size()) * 8;
+  }
+
+  T get(int i, int j) const noexcept {
+    const std::size_t at = idx(i, j);
+    if constexpr (traits::is_complex) {
+      T z;
+      for (int s = 0; s < kLimbs; ++s) {
+        z.re.set_limb(s, d_[s * plane_ + at]);
+        z.im.set_limb(s, d_[(kLimbs + s) * plane_ + at]);
+      }
+      return z;
+    } else {
+      T x;
+      for (int s = 0; s < kLimbs; ++s) x.set_limb(s, d_[s * plane_ + at]);
+      return x;
+    }
+  }
+
+  void set(int i, int j, const T& v) noexcept {
+    const std::size_t at = idx(i, j);
+    if constexpr (traits::is_complex) {
+      for (int s = 0; s < kLimbs; ++s) {
+        d_[s * plane_ + at] = v.re.limb(s);
+        d_[(kLimbs + s) * plane_ + at] = v.im.limb(s);
+      }
+    } else {
+      for (int s = 0; s < kLimbs; ++s) d_[s * plane_ + at] = v.limb(s);
+    }
+  }
+
+  // Stage plane s as a raw span (tests verify the coalesced layout).
+  const double* plane(int s) const noexcept { return d_.data() + s * plane_; }
+
+  static Staged2D from_host(const blas::Matrix<T>& m) {
+    Staged2D s(m.rows(), m.cols());
+    for (int i = 0; i < m.rows(); ++i)
+      for (int j = 0; j < m.cols(); ++j) s.set(i, j, m(i, j));
+    return s;
+  }
+
+  blas::Matrix<T> to_host() const {
+    blas::Matrix<T> m(rows_, cols_);
+    for (int i = 0; i < rows_; ++i)
+      for (int j = 0; j < cols_; ++j) m(i, j) = get(i, j);
+    return m;
+  }
+
+ private:
+  std::size_t idx(int i, int j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return std::size_t(i) * cols_ + j;
+  }
+
+  int rows_ = 0, cols_ = 0;
+  std::size_t plane_ = 0;
+  std::vector<double> d_;
+};
+
+// A staged vector is a one-column staged matrix.
+template <class T>
+class Staged1D {
+ public:
+  Staged1D() = default;
+  explicit Staged1D(int n) : m_(n, 1) {}
+  int size() const noexcept { return m_.rows(); }
+  T get(int i) const noexcept { return m_.get(i, 0); }
+  void set(int i, const T& v) noexcept { m_.set(i, 0, v); }
+  std::int64_t bytes() const noexcept { return m_.bytes(); }
+
+  static Staged1D from_host(const blas::Vector<T>& v) {
+    Staged1D s(static_cast<int>(v.size()));
+    for (std::size_t i = 0; i < v.size(); ++i) s.set(static_cast<int>(i), v[i]);
+    return s;
+  }
+  blas::Vector<T> to_host() const {
+    blas::Vector<T> v(size());
+    for (int i = 0; i < size(); ++i) v[i] = get(i);
+    return v;
+  }
+
+ private:
+  Staged2D<T> m_;
+};
+
+}  // namespace mdlsq::device

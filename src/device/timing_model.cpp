@@ -1,0 +1,72 @@
+#include "device/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdlsq::device {
+
+const TimingParams& default_params() {
+  static const TimingParams tp;
+  return tp;
+}
+
+double pair_intensity(md::Precision p) {
+  const md::CostTable t = md::cost_table(p);
+  const double flops_per_pair = t.mul.total() + t.add.total();
+  const double bytes_per_pair = 2.0 * 8.0 * md::limbs_of(p);
+  return flops_per_pair / bytes_per_pair;
+}
+
+double efficiency(const DeviceSpec& /*d*/, md::Precision p,
+                  const TimingParams& tp) {
+  return std::min(tp.eff_max,
+                  tp.c_eff * std::pow(pair_intensity(p), tp.ai_exponent));
+}
+
+double kernel_time_ms(const DeviceSpec& d, md::Precision p,
+                      const md::OpTally& ops, std::int64_t bytes, int blocks,
+                      int threads_per_block, const md::OpTally& serial,
+                      const TimingParams& tp) {
+  const double flops = ops.dp_flops(p);
+  const double threads =
+      std::max(1.0, static_cast<double>(blocks) * threads_per_block);
+  const double slots = d.sms * d.cores_per_sm * tp.latency_factor;
+  const double occ = std::min(1.0, threads / slots);
+
+  const double eff = efficiency(d, p, tp);
+  const double t_throughput = flops / (d.peak_dp_gflops * 1e6 * eff * occ);
+
+  // Latency regime: each block's serial dependency chain, times the number
+  // of block "waves" when there are more blocks than multiprocessors (this
+  // is what separates the 80-SM V100 from the 56-SM P100 on 80-tile back
+  // substitution).
+  const double serial_flops =
+      serial.md_ops() > 0 ? serial.dp_flops(p) : flops / threads;
+  const double waves =
+      std::ceil(static_cast<double>(std::max(1, blocks)) /
+                (std::max(1, d.sms) * tp.blocks_per_sm_interleave));
+  const double ipc = tp.ipc_dep_base * d.dp_ratio();
+  const double t_latency = serial_flops * waves / (d.clock_ghz * 1e6 * ipc);
+
+  const double t_bandwidth = static_cast<double>(bytes) / (d.mem_bw_gbs * 1e6);
+
+  return tp.launch_overhead_ms +
+         std::max({t_throughput, t_latency, t_bandwidth});
+}
+
+double transfer_time_ms(const DeviceSpec& d, std::int64_t bytes,
+                        const TimingParams& tp) {
+  const double pcie_ms = static_cast<double>(bytes) / (d.pcie_gbs * 1e6);
+  const double host_ms = static_cast<double>(bytes) * tp.host_ns_per_byte * 1e-6;
+  return pcie_ms + host_ms;
+}
+
+double ridge_point(const DeviceSpec& d) {
+  return d.peak_dp_gflops / d.mem_bw_gbs;
+}
+
+double roofline_gflops(const DeviceSpec& d, double arithmetic_intensity) {
+  return std::min(d.peak_dp_gflops, arithmetic_intensity * d.mem_bw_gbs);
+}
+
+}  // namespace mdlsq::device

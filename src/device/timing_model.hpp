@@ -1,0 +1,83 @@
+// The kernel timing model of the device simulator.
+//
+// A physical GPU is unavailable (DESIGN.md §1), so kernel times are
+// *modeled*, not measured.  The model has three regimes, and a launch is
+// priced at the slowest of them plus a fixed launch overhead:
+//
+//   throughput:  t = F / (peak · eff(AI) · occ)
+//                — enough resident threads; limited by the DP pipelines.
+//   latency:     t = serial · ceil(blocks/sms) / (clock · ipc_dep)
+//                — too few threads to hide the long dependency chains of
+//                  multiple-double arithmetic; each thread retires its
+//                  serial chain at ipc_dep flops per cycle, and blocks
+//                  beyond the multiprocessor count queue up in waves.
+//   bandwidth:   t = B / bw
+//                — compulsory global-memory traffic.
+//
+// with
+//   occ      = min(1, threads / (sms · cores_per_sm · LATENCY_FACTOR)),
+//   AI       = register-level arithmetic intensity of the working
+//              precision: dp-flops of one multiply-add pair over the bytes
+//              of its two multiple-double operands (the paper's CGMA ratio
+//              per operation),
+//   eff(AI)  = min(EFF_MAX, C_EFF · AI^AI_EXPONENT),
+//              the fraction of peak a direct (no shared memory) kernel
+//              sustains; rising with CGMA exactly as the paper argues,
+//   ipc_dep  = IPC_DEP_BASE scaled by the device's FP64 issue ratio.
+//
+// The four constants below were calibrated ONCE against the V100 column of
+// the paper's Table 4 and are used unchanged for every device, precision,
+// kernel and experiment (no per-table tuning).  EXPERIMENTS.md reports the
+// resulting paper-vs-model deltas.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device_spec.hpp"
+#include "md/op_counts.hpp"
+
+namespace mdlsq::device {
+
+struct TimingParams {
+  double latency_factor = 2.0;    // resident threads per core to hide latency
+  double c_eff = 0.235;           // efficiency prefactor
+  double ai_exponent = 0.45;      // efficiency growth with intensity
+  double eff_max = 0.90;          // efficiency ceiling
+  double ipc_dep_base = 0.22;     // dependent-chain dp flops/cycle/thread
+                                  // at FP64 issue ratio 1.0 (scaled by the
+                                  // device's dp_ratio)
+  double blocks_per_sm_interleave = 8.0;  // blocks an SM interleaves before
+                                          // serial-chain waves serialize
+  double launch_overhead_ms = 0.005;
+  double host_ns_per_byte = 0.15;  // host-side staging cost in the wall model
+};
+
+const TimingParams& default_params();
+
+// Register-level arithmetic intensity of one multiply-add pair.
+double pair_intensity(md::Precision p);
+
+// Sustained fraction of peak for a direct kernel at this precision.
+double efficiency(const DeviceSpec& d, md::Precision p,
+                  const TimingParams& tp = default_params());
+
+// Modeled time of one kernel launch, in milliseconds.
+//   ops     multiple-double operations of the launch (Table 1 pricing),
+//   bytes   compulsory global-memory traffic of the launch,
+//   blocks, threads_per_block  the launch configuration,
+//   serial  the longest per-thread dependency chain in md ops; if empty,
+//           the chain is taken as ops / (blocks*threads) (uniform kernel).
+double kernel_time_ms(const DeviceSpec& d, md::Precision p,
+                      const md::OpTally& ops, std::int64_t bytes, int blocks,
+                      int threads_per_block, const md::OpTally& serial = {},
+                      const TimingParams& tp = default_params());
+
+// Host <-> device transfer plus host-side staging time for `bytes`.
+double transfer_time_ms(const DeviceSpec& d, std::int64_t bytes,
+                        const TimingParams& tp = default_params());
+
+// Roofline quantities (paper's Figure 5): ridge point and attainable rate.
+double ridge_point(const DeviceSpec& d);  // flops per byte
+double roofline_gflops(const DeviceSpec& d, double arithmetic_intensity);
+
+}  // namespace mdlsq::device

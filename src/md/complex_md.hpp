@@ -1,0 +1,91 @@
+// Complex multiple-double numbers.  Real and imaginary parts are separate
+// mdreal<N> values, matching the paper's storage of complex arrays as
+// separate real and imaginary staged arrays (end of Section 2).
+//
+// Complex arithmetic decomposes into real multiple-double operations that
+// self-report to the operation tally, so complex kernels are costed at
+// their true ~4x operation count automatically.
+#pragma once
+
+#include "functions.hpp"
+#include "mdreal.hpp"
+
+namespace mdlsq::md {
+
+template <int N>
+struct mdcomplex {
+  mdreal<N> re{};
+  mdreal<N> im{};
+
+  constexpr mdcomplex() = default;
+  constexpr mdcomplex(const mdreal<N>& r) : re(r) {}  // NOLINT: implicit
+  constexpr mdcomplex(const mdreal<N>& r, const mdreal<N>& i) : re(r), im(i) {}
+  constexpr mdcomplex(double r) : re(r) {}  // NOLINT: implicit
+  constexpr mdcomplex(double r, double i) : re(r), im(i) {}
+
+  static constexpr int limbs = N;
+
+  bool is_zero() const noexcept { return re.is_zero() && im.is_zero(); }
+  bool isfinite() const noexcept { return re.isfinite() && im.isfinite(); }
+
+  friend mdcomplex conj(const mdcomplex& z) noexcept { return {z.re, -z.im}; }
+
+  // |z|^2, exact to working precision.
+  friend mdreal<N> norm(const mdcomplex& z) noexcept {
+    return z.re * z.re + z.im * z.im;
+  }
+  friend mdreal<N> abs(const mdcomplex& z) noexcept { return sqrt(norm(z)); }
+
+  constexpr mdcomplex operator-() const noexcept { return {-re, -im}; }
+  constexpr mdcomplex operator+() const noexcept { return *this; }
+
+  friend mdcomplex operator+(const mdcomplex& a, const mdcomplex& b) noexcept {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend mdcomplex operator-(const mdcomplex& a, const mdcomplex& b) noexcept {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend mdcomplex operator*(const mdcomplex& a, const mdcomplex& b) noexcept {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  friend mdcomplex operator*(const mdcomplex& a, const mdreal<N>& s) noexcept {
+    return {a.re * s, a.im * s};
+  }
+  friend mdcomplex operator*(const mdreal<N>& s, const mdcomplex& a) noexcept {
+    return a * s;
+  }
+  friend mdcomplex operator/(const mdcomplex& a, const mdcomplex& b) noexcept {
+    const mdreal<N> d = norm(b);
+    return {(a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d};
+  }
+  friend mdcomplex operator/(const mdcomplex& a, const mdreal<N>& s) noexcept {
+    return {a.re / s, a.im / s};
+  }
+
+  mdcomplex& operator+=(const mdcomplex& o) noexcept { return *this = *this + o; }
+  mdcomplex& operator-=(const mdcomplex& o) noexcept { return *this = *this - o; }
+  mdcomplex& operator*=(const mdcomplex& o) noexcept { return *this = *this * o; }
+  mdcomplex& operator/=(const mdcomplex& o) noexcept { return *this = *this / o; }
+
+  friend bool operator==(const mdcomplex& a, const mdcomplex& b) noexcept {
+    return a.re == b.re && a.im == b.im;
+  }
+};
+
+// Principal square root, used by tests; via polar decomposition.
+template <int N>
+mdcomplex<N> sqrt(const mdcomplex<N>& z) noexcept {
+  const mdreal<N> r = abs(z);
+  if (r.is_zero()) return {};
+  const mdreal<N> half(0.5);
+  mdreal<N> u = sqrt((r + z.re) * half);
+  mdreal<N> v = sqrt((r - z.re) * half);
+  if (z.im.is_negative()) v = -v;
+  return {u, v};
+}
+
+using dd_complex = mdcomplex<2>;
+using qd_complex = mdcomplex<4>;
+using od_complex = mdcomplex<8>;
+
+}  // namespace mdlsq::md

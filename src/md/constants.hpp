@@ -1,0 +1,78 @@
+// Mathematical constants at full working precision for any limb count,
+// parsed once per precision from 160-digit decimal strings (the QDlib
+// approach).  160 digits cover octo double (~128 digits) with headroom.
+#pragma once
+
+#include "md/io.hpp"
+#include "md/mdreal.hpp"
+
+namespace mdlsq::md {
+
+namespace detail {
+inline constexpr const char* kPiDigits =
+    "3.1415926535897932384626433832795028841971693993751058209749445923078164"
+    "062862089986280348253421170679821480865132823066470938446095505822317253"
+    "5940812848111745";
+inline constexpr const char* kTwoPiDigits =
+    "6.2831853071795864769252867665590057683943387987502116419498891846156328"
+    "125724179972560696506842341359642961730265646132941876892191011644634507"
+    "1881625696223490";
+inline constexpr const char* kHalfPiDigits =
+    "1.5707963267948966192313216916397514420985846996875529104874722961539082"
+    "031431044993140174126710585339910740432566411533235469223047752911158626"
+    "7970406424057872";
+inline constexpr const char* kEDigits =
+    "2.7182818284590452353602874713526624977572470936999595749669676277240766"
+    "303535475945713821785251664274274663919320030599218174135966290435729003"
+    "3429526059563073";
+inline constexpr const char* kLn2Digits =
+    "0.6931471805599453094172321214581765680755001343602552541206800094933936"
+    "219696947156058633269964186875420014810205706857336855202357581305570326"
+    "6397699690670694";
+inline constexpr const char* kLn10Digits =
+    "2.3025850929940456840179914546843642076011014886287729760333279009675726"
+    "096773524802359972050895982983419677840422862486334095254650828067566662"
+    "8737645725499430";
+inline constexpr const char* kSqrt2Digits =
+    "1.4142135623730950488016887242096980785696718753769480731766797379907324"
+    "784621070388503875343276415727350138462309122970249248360558507372126441"
+    "2149709993583141";
+}  // namespace detail
+
+template <int N>
+const mdreal<N>& pi() {
+  static const mdreal<N> v = from_string<N>(detail::kPiDigits);
+  return v;
+}
+template <int N>
+const mdreal<N>& two_pi() {
+  static const mdreal<N> v = from_string<N>(detail::kTwoPiDigits);
+  return v;
+}
+template <int N>
+const mdreal<N>& half_pi() {
+  static const mdreal<N> v = from_string<N>(detail::kHalfPiDigits);
+  return v;
+}
+template <int N>
+const mdreal<N>& e_const() {
+  static const mdreal<N> v = from_string<N>(detail::kEDigits);
+  return v;
+}
+template <int N>
+const mdreal<N>& ln2() {
+  static const mdreal<N> v = from_string<N>(detail::kLn2Digits);
+  return v;
+}
+template <int N>
+const mdreal<N>& ln10() {
+  static const mdreal<N> v = from_string<N>(detail::kLn10Digits);
+  return v;
+}
+template <int N>
+const mdreal<N>& sqrt2() {
+  static const mdreal<N> v = from_string<N>(detail::kSqrt2Digits);
+  return v;
+}
+
+}  // namespace mdlsq::md

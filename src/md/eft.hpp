@@ -1,0 +1,60 @@
+// Error-free transforms: the double-precision building blocks of all
+// multiple-double arithmetic.  Every function computes a floating-point
+// result together with the *exact* rounding error, so that a sequence of
+// doubles can represent a value to arbitrarily many bits.
+//
+// References: D. E. Knuth, TAOCP vol. 2 (two_sum); T. J. Dekker,
+// "A floating-point technique for extending the available precision"
+// (quick_two_sum, split); J. R. Shewchuk, "Adaptive precision
+// floating-point arithmetic" (expansion algebra built on these).
+#pragma once
+
+#include <cmath>
+
+namespace mdlsq::md {
+
+// s = fl(a + b), e = (a + b) - s exactly.  No requirement on |a|, |b|.
+// 6 double-precision operations (Knuth).
+inline void two_sum(double a, double b, double& s, double& e) noexcept {
+  s = a + b;
+  const double bb = s - a;
+  e = (a - (s - bb)) + (b - bb);
+}
+
+// s = fl(a + b), e exact; requires |a| >= |b| or a == 0.
+// 3 double-precision operations (Dekker).
+inline void quick_two_sum(double a, double b, double& s, double& e) noexcept {
+  s = a + b;
+  e = b - (s - a);
+}
+
+// p = fl(a * b), e = a*b - p exactly, via fused multiply-add.
+inline void two_prod(double a, double b, double& p, double& e) noexcept {
+  p = a * b;
+  e = std::fma(a, b, -p);
+}
+
+// p = fl(a * a), e exact.
+inline void two_sqr(double a, double& p, double& e) noexcept {
+  p = a * a;
+  e = std::fma(a, a, -p);
+}
+
+// Three-way two_sum: s = fl(a+b+c) with the two error terms.
+// On return s holds the leading part, e1 and e2 the roundoff.
+inline void three_sum(double& a, double& b, double& c) noexcept {
+  double t1, t2, t3;
+  two_sum(a, b, t1, t2);
+  two_sum(c, t1, a, t3);
+  two_sum(t2, t3, b, c);
+}
+
+// Like three_sum but only two outputs are needed (error folded).
+inline void three_sum2(double& a, double& b, double c) noexcept {
+  double t1, t2, t3;
+  two_sum(a, b, t1, t2);
+  two_sum(c, t1, a, t3);
+  b = t2 + t3;
+}
+
+}  // namespace mdlsq::md

@@ -1,0 +1,268 @@
+// Elementary transcendental functions on multiple-double numbers:
+// exp, log, log10, pow, sin, cos, tan, atan, atan2, asin, acos,
+// sinh, cosh, tanh — for any limb count, accurate to a few ulps of the
+// working precision.
+//
+// The algorithms follow QDlib's double double / quad double functions,
+// generalized over the limb count:
+//   exp   — argument reduction x = k ln2 + r, Taylor on r/2^9, then nine
+//           doublings carried on exp(r)-1 to preserve relative accuracy;
+//   log   — Newton's iteration y <- y + x exp(-y) - 1 from a double seed
+//           (quadratic convergence, one step per precision doubling);
+//   sin   — reduction modulo pi/2 with quadrant bookkeeping, Taylor on
+//           |r| <= pi/4 (the paper's applications never need huge
+//           arguments; reduction is accurate for |x| well below 1/eps);
+//   atan  — argument halving x <- x / (1 + sqrt(1 + x^2)) to |x| < 1/16,
+//           then the alternating odd series, undone by doubling.
+//
+// These functions execute ordinary counted multiple-double operations, so
+// they self-report to the operation tally like everything else.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "md/constants.hpp"
+#include "md/functions.hpp"
+#include "md/mdreal.hpp"
+
+namespace mdlsq::md {
+
+template <int N>
+mdreal<N> exp(const mdreal<N>& x) {
+  using T = mdreal<N>;
+  const double xd = x.to_double();
+  if (x.is_zero()) return T(1.0);
+  if (x.isnan()) return x;
+  if (xd > 709.0) return T(std::numeric_limits<double>::infinity());
+  if (xd < -745.0) return T(0.0);
+
+  // x = k ln2 + r, |r| <= ln2/2.
+  const double k = std::nearbyint(xd / std::log(2.0));
+  const T r = x - ln2<N>() * k;
+
+  // Taylor on r/2^m; p tracks exp(.) - 1 so the doublings do not wash
+  // out the low limbs.
+  constexpr int m = 9;
+  const T rs = ldexp(r, -m);
+  T p = rs;      // exp(rs) - 1, accumulating
+  T term = rs;   // rs^i / i!, divided incrementally: i! overflows the
+                 // 53-bit mantissa from 19! on, so the factorial must
+                 // never be formed as one double.
+  for (int i = 2; i < 1000; ++i) {
+    term *= rs;
+    term /= static_cast<double>(i);
+    p += term;
+    if (std::fabs(term.to_double()) <
+        T::eps() * 0.25 * std::fabs(rs.to_double()))
+      break;
+  }
+  // (1+p)^2 = 1 + (2p + p^2), m times.
+  for (int i = 0; i < m; ++i) p = ldexp(p, 1) + p * p;
+  return ldexp(p + T(1.0), static_cast<int>(k));
+}
+
+template <int N>
+mdreal<N> log(const mdreal<N>& x) {
+  using T = mdreal<N>;
+  if (x.is_negative() || x.isnan())
+    return T(std::numeric_limits<double>::quiet_NaN());
+  if (x.is_zero()) return T(-std::numeric_limits<double>::infinity());
+  if (!x.isfinite()) return x;
+  T y(std::log(x.to_double()));
+  const int steps = ceil_log2(N) + 1;
+  for (int s = 0; s < steps; ++s) y += x * exp(-y) - 1.0;
+  return y;
+}
+
+template <int N>
+mdreal<N> log10(const mdreal<N>& x) {
+  return log(x) / ln10<N>();
+}
+
+// x^y = exp(y log x); requires x > 0 (use powi for integer exponents of
+// negative bases).
+template <int N>
+mdreal<N> pow(const mdreal<N>& x, const mdreal<N>& y) {
+  return exp(y * log(x));
+}
+
+namespace detail {
+
+// Taylor series of sin and cos on |r| <= pi/4.
+template <int N>
+void sincos_taylor(const mdreal<N>& r, mdreal<N>& s, mdreal<N>& c) {
+  using T = mdreal<N>;
+  const T r2 = r * r;
+  // sin
+  s = r;
+  T term = r;
+  for (int k = 1; k < 500; ++k) {
+    term *= r2;
+    term /= static_cast<double>(2 * k) * (2 * k + 1);
+    if (k % 2)
+      s -= term;
+    else
+      s += term;
+    if (std::fabs(term.to_double()) <
+        T::eps() * 0.25 * (std::fabs(s.to_double()) + 1e-300))
+      break;
+  }
+  // cos from the same structure (independent series keeps both fully
+  // accurate near the axis crossings).
+  c = T(1.0);
+  term = T(1.0);
+  for (int k = 1; k < 500; ++k) {
+    term *= r2;
+    term /= static_cast<double>(2 * k - 1) * (2 * k);
+    if (k % 2)
+      c -= term;
+    else
+      c += term;
+    if (std::fabs(term.to_double()) < T::eps() * 0.25) break;
+  }
+}
+
+// Reduce x modulo pi/2: x = q (pi/2) + r with |r| <= pi/4; returns q mod 4
+// in [0,3].
+template <int N>
+int trig_reduce(const mdreal<N>& x, mdreal<N>& r) {
+  const double q = std::nearbyint(x.to_double() / 1.5707963267948966);
+  r = x - half_pi<N>() * q;
+  int qi = static_cast<int>(std::fmod(q, 4.0));
+  if (qi < 0) qi += 4;
+  return qi;
+}
+
+}  // namespace detail
+
+template <int N>
+void sincos(const mdreal<N>& x, mdreal<N>& s, mdreal<N>& c) {
+  using T = mdreal<N>;
+  if (!x.isfinite()) {
+    s = c = T(std::numeric_limits<double>::quiet_NaN());
+    return;
+  }
+  T r;
+  const int q = detail::trig_reduce(x, r);
+  T sr, cr;
+  detail::sincos_taylor(r, sr, cr);
+  switch (q) {
+    case 0: s = sr; c = cr; break;
+    case 1: s = cr; c = -sr; break;
+    case 2: s = -sr; c = -cr; break;
+    default: s = -cr; c = sr; break;
+  }
+}
+
+template <int N>
+mdreal<N> sin(const mdreal<N>& x) {
+  mdreal<N> s, c;
+  sincos(x, s, c);
+  return s;
+}
+
+template <int N>
+mdreal<N> cos(const mdreal<N>& x) {
+  mdreal<N> s, c;
+  sincos(x, s, c);
+  return c;
+}
+
+template <int N>
+mdreal<N> tan(const mdreal<N>& x) {
+  mdreal<N> s, c;
+  sincos(x, s, c);
+  return s / c;
+}
+
+template <int N>
+mdreal<N> atan(const mdreal<N>& x) {
+  using T = mdreal<N>;
+  if (x.isnan()) return x;
+  if (!x.isfinite())
+    return x.is_negative() ? -half_pi<N>() : half_pi<N>();
+  // Halve until |x| < 1/16: atan(x) = 2 atan(x / (1 + sqrt(1 + x^2))).
+  T z = x;
+  int halvings = 0;
+  while (std::fabs(z.to_double()) > 0.0625) {
+    z = z / (T(1.0) + sqrt(T(1.0) + z * z));
+    ++halvings;
+  }
+  // Alternating odd series.
+  const T z2 = z * z;
+  T sum = z, power = z;
+  for (int k = 1; k < 300; ++k) {
+    power *= z2;
+    const T term = power / static_cast<double>(2 * k + 1);
+    if (k % 2)
+      sum -= term;
+    else
+      sum += term;
+    if (std::fabs(term.to_double()) <
+        T::eps() * 0.25 * (std::fabs(sum.to_double()) + 1e-300))
+      break;
+  }
+  return ldexp(sum, halvings);
+}
+
+template <int N>
+mdreal<N> atan2(const mdreal<N>& y, const mdreal<N>& x) {
+  using T = mdreal<N>;
+  if (x.is_zero() && y.is_zero()) return T(0.0);
+  if (x.is_zero()) return y.is_negative() ? -half_pi<N>() : half_pi<N>();
+  const T base = atan(y / x);
+  if (!x.is_negative()) return base;
+  return y.is_negative() ? base - pi<N>() : base + pi<N>();
+}
+
+template <int N>
+mdreal<N> asin(const mdreal<N>& x) {
+  using T = mdreal<N>;
+  const T one(1.0);
+  if (abs(x) > one) return T(std::numeric_limits<double>::quiet_NaN());
+  if (x == one) return half_pi<N>();
+  if (x == -one) return -half_pi<N>();
+  return atan(x / sqrt(one - x * x));
+}
+
+template <int N>
+mdreal<N> acos(const mdreal<N>& x) {
+  return half_pi<N>() - asin(x);
+}
+
+template <int N>
+mdreal<N> sinh(const mdreal<N>& x) {
+  using T = mdreal<N>;
+  if (x.is_zero()) return T(0.0);
+  if (std::fabs(x.to_double()) > 0.25) {
+    const T ex = exp(x);
+    return ldexp(ex - T(1.0) / ex, -1);
+  }
+  // Taylor for small arguments: (exp(x) - exp(-x))/2 cancels badly.
+  const T x2 = x * x;
+  T sum = x, term = x;
+  for (int k = 1; k < 200; ++k) {
+    term *= x2;
+    term /= static_cast<double>(2 * k) * (2 * k + 1);
+    sum += term;
+    if (std::fabs(term.to_double()) <
+        T::eps() * 0.25 * std::fabs(sum.to_double()))
+      break;
+  }
+  return sum;
+}
+
+template <int N>
+mdreal<N> cosh(const mdreal<N>& x) {
+  using T = mdreal<N>;
+  const T ex = exp(x);
+  return ldexp(ex + T(1.0) / ex, -1);
+}
+
+template <int N>
+mdreal<N> tanh(const mdreal<N>& x) {
+  return sinh(x) / cosh(x);
+}
+
+}  // namespace mdlsq::md

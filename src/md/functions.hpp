@@ -1,0 +1,82 @@
+// Elementary functions on multiple-double numbers: square root (needed by
+// the Householder reflector norms), squaring, reciprocal, integer powers,
+// min/max.  Square root uses Newton's method from a double seed; each
+// iteration doubles the number of correct bits, so ceil(log2(N)) steps
+// refine the 53-bit seed past the N*53-bit target.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "mdreal.hpp"
+
+namespace mdlsq::md {
+
+constexpr int ceil_log2(int n) noexcept {
+  int steps = 0, v = 1;
+  while (v < n) {
+    v *= 2;
+    ++steps;
+  }
+  return steps;
+}
+
+// sqrt(a); negative input yields NaN, as for doubles.  Counted as one
+// division in the Table 1 cost model (inner Newton arithmetic does not
+// self-report: the cost model prices the operation, not its expansion).
+template <int N>
+mdreal<N> sqrt(const mdreal<N>& a) noexcept {
+  detail::count_sqrt();
+  if (a.is_zero()) return mdreal<N>(0.0);
+  if (a.is_negative() || a.isnan())
+    return mdreal<N>(std::numeric_limits<double>::quiet_NaN());
+  if (!a.isfinite()) return a;
+  OpTally silence;            // shield inner impl ops from the caller's tally
+  ScopedTally mute(silence);  // (impl functions do not count, but / does)
+  mdreal<N> y(std::sqrt(a.to_double()));
+  constexpr int steps = ceil_log2(N) + 1;  // one extra step of headroom
+  for (int s = 0; s < steps; ++s)
+    y = ldexp(mdreal<N>::add_impl(y, mdreal<N>::div_impl(a, y)), -1);
+  return y;
+}
+
+template <int N>
+mdreal<N> sqr(const mdreal<N>& a) noexcept {
+  return a * a;
+}
+
+template <int N>
+mdreal<N> inv(const mdreal<N>& a) noexcept {
+  return mdreal<N>(1.0) / a;
+}
+
+// a^p for integer p by binary exponentiation.
+template <int N>
+mdreal<N> powi(const mdreal<N>& a, long long p) noexcept {
+  if (p < 0) return inv(powi(a, -p));
+  mdreal<N> base = a, r(1.0);
+  while (p > 0) {
+    if (p & 1) r *= base;
+    base *= base;
+    p >>= 1;
+  }
+  return r;
+}
+
+template <int N>
+const mdreal<N>& max(const mdreal<N>& a, const mdreal<N>& b) noexcept {
+  return a < b ? b : a;
+}
+
+template <int N>
+const mdreal<N>& min(const mdreal<N>& a, const mdreal<N>& b) noexcept {
+  return b < a ? b : a;
+}
+
+// Sign transfer as in Householder vector construction: |a| * sign(b).
+template <int N>
+mdreal<N> copysign(const mdreal<N>& a, const mdreal<N>& b) noexcept {
+  return b.is_negative() ? -abs(a) : abs(a);
+}
+
+}  // namespace mdlsq::md

@@ -1,0 +1,124 @@
+// Decimal conversion for multiple-double numbers: to_string emits the
+// leading `digits` significant decimal digits in scientific notation;
+// from_string parses sign, mantissa and exponent at full working
+// precision.  Round-tripping is exercised by the test suite.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <string_view>
+
+#include "functions.hpp"
+#include "mdreal.hpp"
+
+namespace mdlsq::md {
+
+// Default significant digits shown for N limbs (~16 per limb).
+template <int N>
+constexpr int default_digits() noexcept {
+  return 16 * N;
+}
+
+template <int N>
+mdreal<N> pow10(int e) {
+  return powi(mdreal<N>(10.0), e);
+}
+
+template <int N>
+std::string to_string(const mdreal<N>& x, int digits = default_digits<N>()) {
+  if (x.isnan()) return "nan";
+  if (!x.isfinite()) return x.is_negative() ? "-inf" : "inf";
+  if (x.is_zero()) return "0.0";
+
+  std::string out;
+  mdreal<N> r = abs(x);
+  if (x.is_negative()) out += '-';
+
+  int e10 = static_cast<int>(std::floor(std::log10(std::fabs(x.to_double()))));
+  r = r / pow10<N>(e10);
+  // Guard against log10 rounding at decade boundaries.
+  if (r >= mdreal<N>(10.0)) {
+    r /= 10.0;
+    ++e10;
+  } else if (r < mdreal<N>(1.0)) {
+    r *= 10.0;
+    --e10;
+  }
+
+  std::string mant;
+  for (int i = 0; i < digits; ++i) {
+    int d = static_cast<int>(r.to_double());
+    if (d < 0) d = 0;
+    if (d > 9) d = 9;
+    mant += static_cast<char>('0' + d);
+    r = (r - static_cast<double>(d)) * 10.0;
+  }
+  // Round the final digit and propagate carries.
+  if (r >= mdreal<N>(5.0)) {
+    int i = static_cast<int>(mant.size()) - 1;
+    while (i >= 0) {
+      if (mant[i] != '9') {
+        ++mant[i];
+        break;
+      }
+      mant[i] = '0';
+      --i;
+    }
+    if (i < 0) {
+      mant.insert(mant.begin(), '1');
+      mant.pop_back();
+      ++e10;
+    }
+  }
+
+  out += mant.substr(0, 1);
+  out += '.';
+  out += mant.substr(1);
+  out += 'e';
+  out += std::to_string(e10);
+  return out;
+}
+
+template <int N>
+mdreal<N> from_string(std::string_view s) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  };
+  skip_ws();
+  bool neg = false;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) neg = (s[i++] == '-');
+
+  mdreal<N> val(0.0);
+  int frac_digits = 0;
+  bool seen_point = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c >= '0' && c <= '9') {
+      val = val * 10.0 + static_cast<double>(c - '0');
+      if (seen_point) ++frac_digits;
+    } else if (c == '.' && !seen_point) {
+      seen_point = true;
+    } else {
+      break;
+    }
+  }
+  int e10 = 0;
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    bool eneg = false;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) eneg = (s[i++] == '-');
+    for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i)
+      e10 = e10 * 10 + (s[i] - '0');
+    if (eneg) e10 = -e10;
+  }
+  const int scale = e10 - frac_digits;
+  if (scale > 0)
+    val *= pow10<N>(scale);
+  else if (scale < 0)
+    val /= pow10<N>(-scale);
+  return neg ? -val : val;
+}
+
+}  // namespace mdlsq::md

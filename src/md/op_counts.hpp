@@ -1,0 +1,135 @@
+// The arithmetic cost model of the paper's Table 1: how many double
+// precision operations one multiple-double operation expands into, for
+// double double (2 limbs), quad double (4) and octo double (8).
+//
+// These tallies are used exactly the way the paper uses them: a small
+// accumulator counts the *multiple-double* operations executed by each
+// kernel, and the total double-precision flop count is obtained by
+// multiplying with the Σ column of Table 1.
+#pragma once
+
+#include <cstdint>
+
+namespace mdlsq::md {
+
+// Number of limbs per supported working precision.  The generic engine
+// accepts any N >= 1; the paper (and the bench harness) uses these four.
+enum class Precision : int { d1 = 1, d2 = 2, d4 = 4, d8 = 8 };
+
+constexpr int limbs_of(Precision p) noexcept { return static_cast<int>(p); }
+
+constexpr const char* name_of(Precision p) noexcept {
+  switch (p) {
+    case Precision::d1: return "1d";
+    case Precision::d2: return "2d";
+    case Precision::d4: return "4d";
+    case Precision::d8: return "8d";
+  }
+  return "?";
+}
+
+// One row of Table 1: the double-precision +, -, *, / used by one
+// multiple-double operation.
+struct OpCost {
+  int adds = 0;
+  int subs = 0;
+  int muls = 0;
+  int divs = 0;
+  constexpr int total() const noexcept { return adds + subs + muls + divs; }
+};
+
+// One block of Table 1: costs of a multiple-double add, mul and div.
+struct CostTable {
+  OpCost add;
+  OpCost mul;
+  OpCost div;
+  // The paper's "average" row: mean of the three Σ values (37.7, 439.3,
+  // 2379.0 for double double, quad double, octo double).
+  constexpr double average() const noexcept {
+    return (add.total() + mul.total() + div.total()) / 3.0;
+  }
+};
+
+// Table 1 of the paper, plus the trivial 1-limb row.
+constexpr CostTable cost_table(Precision p) noexcept {
+  switch (p) {
+    case Precision::d1:
+      return {{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}};
+    case Precision::d2:
+      return {{8, 12, 0, 0}, {5, 9, 9, 0}, {33, 18, 16, 3}};
+    case Precision::d4:
+      return {{35, 54, 0, 0}, {99, 164, 73, 0}, {266, 510, 112, 5}};
+    case Precision::d8:
+      return {{95, 174, 0, 0}, {529, 954, 259, 0}, {1599, 3070, 448, 9}};
+  }
+  return {};
+}
+
+// Multiple-double operation tally of a kernel or a whole run.
+// Subtractions are counted separately but cost the same as additions;
+// square roots are costed as divisions (the paper's kernels use one
+// square root per Householder column; Table 1 has no sqrt row).
+struct OpTally {
+  std::int64_t add = 0;
+  std::int64_t sub = 0;
+  std::int64_t mul = 0;
+  std::int64_t div = 0;
+  std::int64_t sqrt = 0;
+
+  constexpr OpTally& operator+=(const OpTally& o) noexcept {
+    add += o.add;
+    sub += o.sub;
+    mul += o.mul;
+    div += o.div;
+    sqrt += o.sqrt;
+    return *this;
+  }
+  friend constexpr OpTally operator+(OpTally a, const OpTally& b) noexcept {
+    a += b;
+    return a;
+  }
+  constexpr std::int64_t md_ops() const noexcept {
+    return add + sub + mul + div + sqrt;
+  }
+  // Double-precision flops under the Table 1 cost model.
+  constexpr double dp_flops(Precision p) const noexcept {
+    const CostTable t = cost_table(p);
+    return static_cast<double>(add + sub) * t.add.total() +
+           static_cast<double>(mul) * t.mul.total() +
+           static_cast<double>(div + sqrt) * t.div.total();
+  }
+  constexpr bool operator==(const OpTally&) const noexcept = default;
+};
+
+namespace detail {
+// Thread-local tally hook.  Null (no counting) unless a ScopedTally is
+// live; the arithmetic operators test the pointer, which costs one
+// predictable branch per multiple-double operation.
+inline thread_local OpTally* tally_hook = nullptr;
+
+inline void count_add() noexcept { if (tally_hook) ++tally_hook->add; }
+inline void count_sub() noexcept { if (tally_hook) ++tally_hook->sub; }
+inline void count_mul() noexcept { if (tally_hook) ++tally_hook->mul; }
+inline void count_div() noexcept { if (tally_hook) ++tally_hook->div; }
+inline void count_sqrt() noexcept { if (tally_hook) ++tally_hook->sqrt; }
+}  // namespace detail
+
+// RAII: accumulate all multiple-double operations executed on this thread
+// into `tally` for the lifetime of the scope.  Nests: the previous hook is
+// restored (and the inner counts are *also* added to the outer tally via
+// the chained pointer being replaced, i.e. inner scopes shadow).
+class ScopedTally {
+ public:
+  explicit ScopedTally(OpTally& tally) noexcept
+      : prev_(detail::tally_hook) {
+    detail::tally_hook = &tally;
+  }
+  ~ScopedTally() { detail::tally_hook = prev_; }
+  ScopedTally(const ScopedTally&) = delete;
+  ScopedTally& operator=(const ScopedTally&) = delete;
+
+ private:
+  OpTally* prev_;
+};
+
+}  // namespace mdlsq::md

@@ -1,0 +1,38 @@
+// Full-precision random multiple-double numbers.  A single double draw
+// only fills the leading limb; the generators here fill all N limbs so
+// that rounding behaviour below the first limb is actually exercised,
+// matching the random test matrices of the paper's Section 4.1.
+#pragma once
+
+#include <random>
+
+#include "complex_md.hpp"
+#include "mdreal.hpp"
+
+namespace mdlsq::md {
+
+// Uniform in (-1, 1) with randomness in every limb.
+template <int N, class Urbg>
+mdreal<N> random_uniform(Urbg& gen) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  mdreal<N> r(0.0);
+  for (int k = 0; k < N; ++k)
+    r += ldexp(mdreal<N>(dist(gen)), -53 * k);
+  return r;
+}
+
+// Uniform in (lo, hi).
+template <int N, class Urbg>
+mdreal<N> random_uniform(Urbg& gen, double lo, double hi) {
+  const mdreal<N> u = random_uniform<N>(gen);  // (-1, 1)
+  return mdreal<N>(0.5 * (hi + lo)) + u * (0.5 * (hi - lo));
+}
+
+template <int N, class Urbg>
+mdcomplex<N> random_complex(Urbg& gen) {
+  const mdreal<N> re = random_uniform<N>(gen);
+  const mdreal<N> im = random_uniform<N>(gen);
+  return {re, im};
+}
+
+}  // namespace mdlsq::md

@@ -1,0 +1,65 @@
+// Plain-text table printer for the bench harness: fixed-width columns,
+// one row per stage, matching the layout of the paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mdlsq::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> w(headers_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (std::size_t i = 0; i < r.size() && i < w.size(); ++i)
+        if (r[i].size() > w[i]) w[i] = r[i].size();
+    };
+    widen(headers_);
+    for (const auto& r : rows_) widen(r);
+    auto line = [&](const std::vector<std::string>& r, char pad) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        const std::string& c = i < r.size() ? r[i] : empty_;
+        std::fprintf(out, "%c %-*s", i ? '|' : ' ',
+                     static_cast<int>(w[i]) + 1, c.c_str());
+      }
+      std::fprintf(out, "\n");
+      if (pad) {
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          std::fprintf(out, "%c", i ? '+' : ' ');
+          for (std::size_t j = 0; j < w[i] + 3; ++j) std::fprintf(out, "-");
+        }
+        std::fprintf(out, "\n");
+      }
+    };
+    line(headers_, '-');
+    for (const auto& r : rows_) line(r, 0);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+// %.1f formatting used for the millisecond and gigaflop cells.
+inline std::string fmt1(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+inline std::string fmt2(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace mdlsq::util

@@ -1,0 +1,188 @@
+// Back substitution: the host reference solver and the tiled accelerated
+// Algorithm 1 — residuals at working precision, agreement between the two,
+// tile-shape sweeps, tally exactness, dry-run equivalence, launch
+// schedule, and failure injection (singular diagonal tile).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+#include "blas/generate.hpp"
+#include "blas/norms.hpp"
+#include "core/back_substitution.hpp"
+#include "core/tiled_back_sub.hpp"
+
+using namespace mdlsq;
+
+namespace {
+template <class T>
+device::Device make_dev(device::ExecMode mode) {
+  return device::Device(device::volta_v100(),
+                        md::Precision(blas::scalar_traits<T>::limbs), mode);
+}
+
+template <class T>
+void check_bs(int nt, int n) {
+  const int dim = nt * n;
+  std::mt19937_64 gen(91 + dim);
+  auto u = blas::random_upper_triangular<T>(dim, gen);
+  auto b = blas::random_vector<T>(dim, gen);
+
+  auto dev = make_dev<T>(device::ExecMode::functional);
+  auto x = core::tiled_back_sub(dev, u, b, nt, n);
+  ASSERT_EQ((int)x.size(), dim);
+
+  const double tol =
+      256.0 * dim * blas::real_of_t<T>::eps() *
+      (blas::norm_fro(u).to_double() + 1.0);
+  EXPECT_LE(blas::residual_norm(u, std::span<const T>(x),
+                                std::span<const T>(b))
+                .to_double(),
+            tol);
+
+  // Agreement with the host reference.
+  auto xr = core::back_substitute(u, std::span<const T>(b));
+  for (int i = 0; i < dim; ++i)
+    EXPECT_LE(blas::abs_of(x[i] - xr[i]).to_double(), tol)
+        << "element " << i;
+
+  for (const auto& s : dev.stages())
+    EXPECT_TRUE(s.measured == s.analytic) << "tally mismatch in " << s.name;
+
+  auto dry = make_dev<T>(device::ExecMode::dry_run);
+  core::tiled_back_sub_dry<T>(dry, nt, n);
+  EXPECT_TRUE(dry.analytic_total() == dev.analytic_total());
+  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dev.kernel_ms());
+}
+}  // namespace
+
+TEST(HostBackSub, SolvesDiagonal) {
+  blas::Matrix<md::dd_real> u(3, 3);
+  u(0, 0) = md::dd_real(2.0);
+  u(1, 1) = md::dd_real(4.0);
+  u(2, 2) = md::dd_real(-1.0);
+  blas::Vector<md::dd_real> b{md::dd_real(2.0), md::dd_real(8.0),
+                              md::dd_real(3.0)};
+  auto x = core::back_substitute(u, std::span<const md::dd_real>(b));
+  EXPECT_EQ(x[0].to_double(), 1.0);
+  EXPECT_EQ(x[1].to_double(), 2.0);
+  EXPECT_EQ(x[2].to_double(), -3.0);
+}
+
+TEST(HostBackSub, RecoversKnownSolution) {
+  std::mt19937_64 gen(92);
+  auto u = blas::random_upper_triangular<md::qd_real>(20, gen);
+  auto want = blas::random_vector<md::qd_real>(20, gen);
+  auto b = blas::gemv(u, std::span<const md::qd_real>(want));
+  auto x = core::back_substitute(u, std::span<const md::qd_real>(b));
+  for (int i = 0; i < 20; ++i)
+    EXPECT_LE(blas::abs_of(x[i] - want[i]).to_double(),
+              1e4 * md::qd_real::eps());
+}
+
+TEST(TiledBackSub, DoubleDouble) { check_bs<md::dd_real>(4, 16); }
+TEST(TiledBackSub, QuadDouble) { check_bs<md::qd_real>(3, 16); }
+TEST(TiledBackSub, OctoDouble) { check_bs<md::od_real>(2, 12); }
+TEST(TiledBackSub, ComplexDoubleDouble) { check_bs<md::dd_complex>(3, 12); }
+TEST(TiledBackSub, ComplexQuadDouble) { check_bs<md::qd_complex>(2, 10); }
+TEST(TiledBackSub, SingleTile) { check_bs<md::dd_real>(1, 24); }
+TEST(TiledBackSub, ManyTinyTiles) { check_bs<md::dd_real>(12, 4); }
+
+// Equal-dimension tile-shape sweep (the paper's Table 8 structure).
+class TiledBsShape : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TiledBsShape, SameSolutionAcrossShapes) {
+  const auto [nt, n] = GetParam();
+  check_bs<md::dd_real>(nt, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TiledBsShape,
+                         ::testing::Values(std::tuple{8, 6}, std::tuple{6, 8},
+                                           std::tuple{4, 12}, std::tuple{3, 16},
+                                           std::tuple{2, 24}, std::tuple{1, 48}),
+                         [](const auto& info) {
+                           return std::to_string(std::get<0>(info.param)) +
+                                  "x" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(TiledBackSub, StageInventory) {
+  auto dev = make_dev<md::dd_real>(device::ExecMode::dry_run);
+  core::tiled_back_sub_dry<md::dd_real>(dev, 4, 8);
+  std::vector<std::string> names;
+  for (const auto& s : dev.stages()) names.push_back(s.name);
+  const std::vector<std::string> want = {"invert diagonal tiles",
+                                         "multiply with inverses",
+                                         "back substitution"};
+  EXPECT_EQ(names, want);
+}
+
+TEST(TiledBackSub, LaunchSchedule) {
+  // One inversion launch, NT multiply launches, NT-1 update waves; the
+  // paper's per-update-launch formula counts 1 + NT(NT+1)/2.
+  const int nt = 5;
+  auto dev = make_dev<md::dd_real>(device::ExecMode::dry_run);
+  core::tiled_back_sub_dry<md::dd_real>(dev, nt, 8);
+  EXPECT_EQ(dev.launches(), 1 + nt + (nt - 1));
+  EXPECT_EQ(core::bs_paper_launches(nt), 1 + nt * (nt + 1) / 2);
+  // Update wave i runs with i blocks: total update blocks = sum i.
+  for (const auto& s : dev.stages())
+    if (s.name == core::stage::bs_update)
+      EXPECT_EQ(s.blocks, nt * (nt - 1) / 2);
+}
+
+TEST(TiledBackSub, QuadraticCostScaling) {
+  auto d1 = make_dev<md::qd_real>(device::ExecMode::dry_run);
+  auto d2 = make_dev<md::qd_real>(device::ExecMode::dry_run);
+  core::tiled_back_sub_dry<md::qd_real>(d1, 40, 64);
+  core::tiled_back_sub_dry<md::qd_real>(d2, 80, 64);
+  // Doubling the tile count at fixed tile size: updates dominate and are
+  // quadratic in NT.
+  const double ratio = d2.analytic_total().dp_flops(md::Precision::d4) /
+                       d1.analytic_total().dp_flops(md::Precision::d4);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(TiledBackSub, SingularTileYieldsNonFinite) {
+  // Failure injection: a zero pivot inside a diagonal tile must surface
+  // as non-finite solution entries, not silently wrong numbers.
+  const int nt = 2, n = 8, dim = nt * n;
+  std::mt19937_64 gen(93);
+  auto u = blas::random_upper_triangular<md::dd_real>(dim, gen);
+  u(3, 3) = md::dd_real(0.0);
+  auto b = blas::random_vector<md::dd_real>(dim, gen);
+  auto dev = make_dev<md::dd_real>(device::ExecMode::functional);
+  auto x = core::tiled_back_sub(dev, u, b, nt, n);
+  bool any_nonfinite = false;
+  for (const auto& xi : x)
+    if (!xi.isfinite()) any_nonfinite = true;
+  EXPECT_TRUE(any_nonfinite);
+}
+
+TEST(TiledBackSub, TeraflopNeedsLargeDimensionInQuadDouble) {
+  // Paper Section 4.8: in quad double on the V100, the tiled back
+  // substitution approaches a teraflop only around dimension 17,920-20,480
+  // (n = 224-256 with 80 tiles); at n = 32 it is far below.
+  auto gf = [](int n) {
+    device::Device dev(device::volta_v100(), md::Precision::d4,
+                       device::ExecMode::dry_run);
+    core::tiled_back_sub_dry<md::qd_real>(dev, 80, n);
+    return dev.kernel_gflops();
+  };
+  EXPECT_LT(gf(32), 200.0);
+  EXPECT_GT(gf(256), 900.0);
+  // monotone increase across the sweep
+  double prev = 0.0;
+  for (int n = 32; n <= 256; n += 32) {
+    const double g = gf(n);
+    EXPECT_GT(g, prev) << "flops not increasing at n=" << n;
+    prev = g;
+  }
+}
+
+TEST(TiledBackSub, WallTimeExceedsKernelTime) {
+  auto dev = make_dev<md::qd_real>(device::ExecMode::dry_run);
+  core::tiled_back_sub_dry<md::qd_real>(dev, 80, 64);
+  EXPECT_GT(dev.wall_ms(), dev.kernel_ms());
+}

@@ -1,0 +1,210 @@
+// Host BLAS substrate: level-1/2/3 identities, LU factorization, the
+// well-conditioned triangular generator of the paper's Section 4.1, and
+// norms/residual helpers.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "blas/generate.hpp"
+#include "blas/gemm.hpp"
+#include "blas/lu.hpp"
+#include "blas/norms.hpp"
+#include "blas/vector_ops.hpp"
+
+using namespace mdlsq;
+using md::dd_real;
+using md::qd_real;
+
+namespace {
+template <class T>
+double mag(const T& x) {
+  return std::fabs(x.to_double());
+}
+}  // namespace
+
+TEST(VectorOps, DotAndNorm) {
+  blas::Vector<dd_real> x{dd_real(1.0), dd_real(2.0), dd_real(2.0)};
+  auto n = blas::norm2(std::span<const dd_real>(x));
+  EXPECT_EQ(n.to_double(), 3.0);
+  auto d = blas::dot(std::span<const dd_real>(x), std::span<const dd_real>(x));
+  EXPECT_EQ(d.to_double(), 9.0);
+}
+
+TEST(VectorOps, DotConjugatesFirstArgument) {
+  using Z = md::dd_complex;
+  blas::Vector<Z> x{Z(0.0, 1.0)};
+  blas::Vector<Z> y{Z(0.0, 1.0)};
+  auto d = blas::dot(std::span<const Z>(x), std::span<const Z>(y));
+  EXPECT_EQ(d.re.to_double(), 1.0);  // conj(i)*i = 1
+  EXPECT_EQ(d.im.to_double(), 0.0);
+}
+
+TEST(VectorOps, AxpyAndScal) {
+  blas::Vector<dd_real> x{dd_real(1.0), dd_real(-2.0)};
+  blas::Vector<dd_real> y{dd_real(10.0), dd_real(10.0)};
+  blas::axpy(dd_real(3.0), std::span<const dd_real>(x), std::span<dd_real>(y));
+  EXPECT_EQ(y[0].to_double(), 13.0);
+  EXPECT_EQ(y[1].to_double(), 4.0);
+  blas::scal(dd_real(0.5), std::span<dd_real>(y));
+  EXPECT_EQ(y[0].to_double(), 6.5);
+}
+
+TEST(VectorOps, NormInf) {
+  blas::Vector<dd_real> x{dd_real(1.0), dd_real(-5.0), dd_real(2.0)};
+  EXPECT_EQ(blas::norm_inf(std::span<const dd_real>(x)).to_double(), 5.0);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  auto i3 = blas::Matrix<dd_real>::identity(3);
+  EXPECT_EQ(i3(0, 0).to_double(), 1.0);
+  EXPECT_EQ(i3(0, 1).to_double(), 0.0);
+  std::mt19937_64 gen(41);
+  auto a = blas::random_matrix<dd_real>(3, 5, gen);
+  auto att = a.transposed().transposed();
+  EXPECT_TRUE(att == a);
+}
+
+TEST(Matrix, AdjointConjugates) {
+  using Z = md::dd_complex;
+  blas::Matrix<Z> a(1, 1);
+  a(0, 0) = Z(1.0, 2.0);
+  auto ah = a.adjoint();
+  EXPECT_EQ(ah(0, 0).im.to_double(), -2.0);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  std::mt19937_64 gen(42);
+  auto a = blas::random_matrix<qd_real>(4, 4, gen);
+  auto i = blas::Matrix<qd_real>::identity(4);
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(a, i), a).to_double(),
+            8 * qd_real::eps());
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(i, a), a).to_double(),
+            8 * qd_real::eps());
+}
+
+TEST(Gemm, Associativity) {
+  std::mt19937_64 gen(43);
+  auto a = blas::random_matrix<dd_real>(3, 4, gen);
+  auto b = blas::random_matrix<dd_real>(4, 5, gen);
+  auto c = blas::random_matrix<dd_real>(5, 2, gen);
+  auto l = blas::gemm(blas::gemm(a, b), c);
+  auto r = blas::gemm(a, blas::gemm(b, c));
+  EXPECT_LE(blas::max_abs_diff(l, r).to_double(), 64 * dd_real::eps() * 10);
+}
+
+TEST(Gemm, AdjointVariantsAgree) {
+  std::mt19937_64 gen(44);
+  auto a = blas::random_matrix<dd_real>(4, 3, gen);
+  auto b = blas::random_matrix<dd_real>(4, 5, gen);
+  auto direct = blas::gemm(a.adjoint(), b);
+  auto fused = blas::gemm_adjoint_a(a, b);
+  EXPECT_LE(blas::max_abs_diff(direct, fused).to_double(), 8 * dd_real::eps());
+
+  auto c = blas::random_matrix<dd_real>(5, 3, gen);
+  auto direct2 = blas::gemm(a, c.adjoint());
+  auto fused2 = blas::gemm_adjoint_b(a, c);
+  EXPECT_LE(blas::max_abs_diff(direct2, fused2).to_double(),
+            8 * dd_real::eps());
+}
+
+TEST(Gemm, ComplexAdjointVariantsAgree) {
+  using Z = md::dd_complex;
+  std::mt19937_64 gen(45);
+  auto a = blas::random_matrix<Z>(3, 4, gen);
+  auto b = blas::random_matrix<Z>(3, 2, gen);
+  auto direct = blas::gemm(a.adjoint(), b);
+  auto fused = blas::gemm_adjoint_a(a, b);
+  EXPECT_LE(blas::norm_max(blas::gemm(direct, blas::Matrix<Z>::identity(2)))
+                .to_double(),
+            1e3);  // sanity: finite
+  EXPECT_LE(blas::max_abs_diff(direct, fused).to_double(), 8 * dd_real::eps());
+}
+
+TEST(Gemv, MatchesGemm) {
+  std::mt19937_64 gen(46);
+  auto a = blas::random_matrix<dd_real>(4, 3, gen);
+  auto x = blas::random_vector<dd_real>(3, gen);
+  auto y = blas::gemv(a, std::span<const dd_real>(x));
+  blas::Matrix<dd_real> xm(3, 1);
+  for (int i = 0; i < 3; ++i) xm(i, 0) = x[i];
+  auto ym = blas::gemm(a, xm);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_LE(mag(y[i] - ym(i, 0)), 8 * dd_real::eps());
+}
+
+TEST(GemmAcc, AccumulatesInPlace) {
+  std::mt19937_64 gen(47);
+  auto a = blas::random_matrix<dd_real>(3, 3, gen);
+  auto b = blas::random_matrix<dd_real>(3, 3, gen);
+  auto c = blas::random_matrix<dd_real>(3, 3, gen);
+  auto want = blas::gemm(a, b);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) want(i, j) += c(i, j);
+  blas::Matrix<dd_real> got = c;
+  blas::gemm_acc(a, b, got);
+  EXPECT_LE(blas::max_abs_diff(want, got).to_double(), 16 * dd_real::eps());
+}
+
+TEST(Lu, ReconstructsPA) {
+  std::mt19937_64 gen(48);
+  auto a = blas::random_matrix<dd_real>(8, 8, gen);
+  auto f = blas::lu_factor(a);
+  ASSERT_FALSE(f.singular);
+  auto l = blas::lower_of(f);
+  auto u = blas::upper_of(f);
+  auto lu = blas::gemm(l, u);
+  // P A: permute rows of a by f.perm.
+  blas::Matrix<dd_real> pa(8, 8);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) pa(i, j) = a(f.perm[i], j);
+  EXPECT_LE(blas::max_abs_diff(lu, pa).to_double(), 1e3 * dd_real::eps());
+}
+
+TEST(Lu, DetectsSingularity) {
+  blas::Matrix<dd_real> z(3, 3);  // all zeros
+  auto f = blas::lu_factor(z);
+  EXPECT_TRUE(f.singular);
+}
+
+TEST(Generate, UpperTriangularIsWellConditionedAndTriangular) {
+  std::mt19937_64 gen(49);
+  auto u = blas::random_upper_triangular<qd_real>(16, gen);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_GT(mag(u(i, i)), 1e-6) << "tiny pivot at " << i;
+    for (int j = 0; j < i; ++j) EXPECT_TRUE(u(i, j).is_zero());
+  }
+}
+
+TEST(Generate, ComplexMatrixFillsBothParts) {
+  std::mt19937_64 gen(50);
+  auto a = blas::random_matrix<md::dd_complex>(4, 4, gen);
+  bool some_im = false;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (!a(i, j).im.is_zero()) some_im = true;
+  EXPECT_TRUE(some_im);
+}
+
+TEST(Norms, FrobeniusAndMax) {
+  blas::Matrix<dd_real> a(2, 2);
+  a(0, 0) = dd_real(3.0);
+  a(1, 1) = dd_real(4.0);
+  EXPECT_EQ(blas::norm_fro(a).to_double(), 5.0);
+  EXPECT_EQ(blas::norm_max(a).to_double(), 4.0);
+}
+
+TEST(Norms, OrthogonalityDefectOfIdentityIsZero) {
+  auto i = blas::Matrix<qd_real>::identity(5);
+  EXPECT_EQ(blas::orthogonality_defect(i).to_double(), 0.0);
+}
+
+TEST(Norms, ResidualOfExactSolve) {
+  std::mt19937_64 gen(51);
+  auto u = blas::random_upper_triangular<dd_real>(6, gen);
+  auto x = blas::random_vector<dd_real>(6, gen);
+  auto b = blas::gemv(u, std::span<const dd_real>(x));
+  EXPECT_LE(blas::residual_norm(u, std::span<const dd_real>(x),
+                                std::span<const dd_real>(b))
+                .to_double(),
+            64 * dd_real::eps() * 10);
+}

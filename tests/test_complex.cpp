@@ -1,0 +1,181 @@
+// Complex multiple-double algebra: field axioms at working precision,
+// conjugation and norm identities, complex square root, and the operation
+// tally expansion rules the kernels' analytic counts rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/tally_rules.hpp"
+#include "md/complex_md.hpp"
+#include "md/random.hpp"
+
+using mdlsq::md::mdcomplex;
+using mdlsq::md::mdreal;
+
+template <class T>
+class MdComplexTest : public ::testing::Test {};
+
+using Sizes = ::testing::Types<mdcomplex<2>, mdcomplex<4>, mdcomplex<8>>;
+TYPED_TEST_SUITE(MdComplexTest, Sizes);
+
+namespace {
+template <class Z>
+double magz(const Z& z) {
+  return std::max(std::fabs(z.re.to_double()), std::fabs(z.im.to_double()));
+}
+}  // namespace
+
+TYPED_TEST(MdComplexTest, MulDivRoundTrip) {
+  constexpr int N = TypeParam::limbs;
+  std::mt19937_64 gen(31);
+  for (int it = 0; it < 200; ++it) {
+    auto a = mdlsq::md::random_complex<N>(gen);
+    auto b = mdlsq::md::random_complex<N>(gen);
+    if (norm(b).to_double() < 1e-4) continue;
+    auto r = a * b / b - a;
+    EXPECT_LE(magz(r), 64.0 * mdreal<N>::eps());
+  }
+}
+
+TYPED_TEST(MdComplexTest, ConjugationIdentities) {
+  constexpr int N = TypeParam::limbs;
+  std::mt19937_64 gen(32);
+  auto z = mdlsq::md::random_complex<N>(gen);
+  // z * conj(z) is real and equals |z|^2.
+  auto p = z * conj(z);
+  EXPECT_LE(std::fabs(p.im.to_double()), 8.0 * mdreal<N>::eps());
+  EXPECT_LE(std::fabs((p.re - norm(z)).to_double()), 8.0 * mdreal<N>::eps());
+  // conj is an involution.
+  EXPECT_TRUE(conj(conj(z)) == z);
+}
+
+TYPED_TEST(MdComplexTest, ImaginaryUnitSquaresToMinusOne) {
+  TypeParam i(0.0, 1.0);
+  auto m = i * i;
+  EXPECT_EQ(m.re.to_double(), -1.0);
+  EXPECT_EQ(m.im.to_double(), 0.0);
+}
+
+TYPED_TEST(MdComplexTest, AbsIsEuclidean) {
+  TypeParam z(3.0, 4.0);
+  EXPECT_LE(std::fabs((abs(z) - mdreal<TypeParam::limbs>(5.0)).to_double()),
+            8.0 * mdreal<TypeParam::limbs>::eps());
+}
+
+TYPED_TEST(MdComplexTest, SqrtSquaresBack) {
+  constexpr int N = TypeParam::limbs;
+  std::mt19937_64 gen(33);
+  for (int it = 0; it < 100; ++it) {
+    auto z = mdlsq::md::random_complex<N>(gen);
+    auto s = sqrt(z);
+    auto r = s * s - z;
+    EXPECT_LE(magz(r), 64.0 * mdreal<N>::eps());
+    // principal branch: nonnegative real part
+    EXPECT_GE(s.re.to_double(), -8.0 * mdreal<N>::eps());
+  }
+}
+
+TYPED_TEST(MdComplexTest, MixedRealOperations) {
+  constexpr int N = TypeParam::limbs;
+  TypeParam z(2.0, -1.0);
+  mdreal<N> s(3.0);
+  auto zs = z * s;
+  EXPECT_EQ(zs.re.to_double(), 6.0);
+  EXPECT_EQ(zs.im.to_double(), -3.0);
+  auto zd = zs / s;
+  EXPECT_LE(magz(zd - z), 8.0 * mdreal<N>::eps());
+}
+
+TYPED_TEST(MdComplexTest, DistributiveLaw) {
+  constexpr int N = TypeParam::limbs;
+  std::mt19937_64 gen(34);
+  for (int it = 0; it < 100; ++it) {
+    auto a = mdlsq::md::random_complex<N>(gen);
+    auto b = mdlsq::md::random_complex<N>(gen);
+    auto c = mdlsq::md::random_complex<N>(gen);
+    auto r = a * (b + c) - (a * b + a * c);
+    EXPECT_LE(magz(r), 64.0 * mdreal<N>::eps());
+  }
+}
+
+// The analytic tally rules must expand complex operations exactly as the
+// operators execute them — this pins tally_rules.hpp to complex_md.hpp.
+template <class Z, class F>
+mdlsq::md::OpTally run_counted(F&& f) {
+  mdlsq::md::OpTally t;
+  {
+    mdlsq::md::ScopedTally scope(t);
+    f();
+  }
+  return t;
+}
+
+TYPED_TEST(MdComplexTest, TallyRuleAdd) {
+  TypeParam a(1.0, 2.0), b(3.0, 4.0);
+  auto t = run_counted<TypeParam>([&] { (void)(a + b); });
+  EXPECT_EQ(t, mdlsq::core::ops_of<TypeParam>::add());
+}
+
+TYPED_TEST(MdComplexTest, TallyRuleSub) {
+  TypeParam a(1.0, 2.0), b(3.0, 4.0);
+  auto t = run_counted<TypeParam>([&] { (void)(a - b); });
+  EXPECT_EQ(t, mdlsq::core::ops_of<TypeParam>::sub());
+}
+
+TYPED_TEST(MdComplexTest, TallyRuleMul) {
+  TypeParam a(1.0, 2.0), b(3.0, 4.0);
+  auto t = run_counted<TypeParam>([&] { (void)(a * b); });
+  EXPECT_EQ(t, mdlsq::core::ops_of<TypeParam>::mul());
+}
+
+TYPED_TEST(MdComplexTest, TallyRuleDiv) {
+  TypeParam a(1.0, 2.0), b(3.0, 4.0);
+  auto t = run_counted<TypeParam>([&] { (void)(a / b); });
+  EXPECT_EQ(t, mdlsq::core::ops_of<TypeParam>::div());
+}
+
+TYPED_TEST(MdComplexTest, TallyRuleMulReal) {
+  TypeParam a(1.0, 2.0);
+  mdreal<TypeParam::limbs> s(2.0);
+  auto t = run_counted<TypeParam>([&] { (void)(a * s); });
+  EXPECT_EQ(t, mdlsq::core::ops_of<TypeParam>::mul_real());
+}
+
+TYPED_TEST(MdComplexTest, TallyRuleAbs2) {
+  TypeParam a(1.0, 2.0);
+  auto t = run_counted<TypeParam>([&] { (void)mdlsq::blas::abs2(a); });
+  EXPECT_EQ(t, mdlsq::core::ops_of<TypeParam>::abs2());
+}
+
+TYPED_TEST(MdComplexTest, TallyRuleSign) {
+  TypeParam a(1.0, 2.0);
+  auto t = run_counted<TypeParam>([&] { (void)mdlsq::blas::sign_like(a); });
+  EXPECT_EQ(t, mdlsq::core::ops_of<TypeParam>::sign());
+}
+
+// Real scalars: the same rules must hold trivially.
+TEST(TallyRulesReal, MatchOperators) {
+  using T = mdreal<4>;
+  using O = mdlsq::core::ops_of<T>;
+  T a(2.0), b(3.0);
+  mdlsq::md::OpTally t;
+  {
+    mdlsq::md::ScopedTally scope(t);
+    (void)(a + b);
+  }
+  EXPECT_EQ(t, O::add());
+  t = {};
+  {
+    mdlsq::md::ScopedTally scope(t);
+    (void)(a * b);
+  }
+  EXPECT_EQ(t, O::mul());
+  t = {};
+  {
+    mdlsq::md::ScopedTally scope(t);
+    (void)mdlsq::blas::sign_like(a);
+  }
+  EXPECT_EQ(t, O::sign());
+  EXPECT_EQ(t.md_ops(), 0);  // real sign is free
+}

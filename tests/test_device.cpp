@@ -1,0 +1,252 @@
+// The device substrate: Table 2 specs, staged (limb-plane) storage layout,
+// the launch engine's bookkeeping, and the timing model's structural
+// properties (regimes, monotonicity, roofline, ridge points).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "blas/generate.hpp"
+#include "device/device_spec.hpp"
+#include "device/launch.hpp"
+#include "device/staged.hpp"
+#include "device/timing_model.hpp"
+
+using namespace mdlsq;
+
+TEST(DeviceSpec, Table2Values) {
+  const auto& v = device::volta_v100();
+  EXPECT_EQ(v.sms, 80);
+  EXPECT_EQ(v.cores_per_sm, 64);
+  EXPECT_EQ(v.cores(), 5120);
+  EXPECT_DOUBLE_EQ(v.clock_ghz, 1.91);
+  EXPECT_DOUBLE_EQ(v.cuda_capability, 7.0);
+  const auto& p = device::pascal_p100();
+  EXPECT_EQ(p.cores(), 3584);
+  const auto& c = device::tesla_c2050();
+  EXPECT_EQ(c.cores(), 448);
+  const auto& k = device::kepler_k20c();
+  EXPECT_EQ(k.cores(), 2496);
+  const auto& r = device::geforce_rtx2080();
+  EXPECT_EQ(r.cores(), 2944);
+  EXPECT_EQ(device::all_devices().size(), 5u);
+}
+
+TEST(DeviceSpec, PeakRatioV100OverP100) {
+  // The paper's scaling argument: V100/P100 peak ratio is about 1.68.
+  const double ratio = device::volta_v100().peak_dp_gflops /
+                       device::pascal_p100().peak_dp_gflops;
+  EXPECT_NEAR(ratio, 1.68, 0.01);
+}
+
+TEST(DeviceSpec, FindByName) {
+  EXPECT_EQ(device::find_device("v100"), &device::volta_v100());
+  EXPECT_EQ(device::find_device("RTX"), &device::geforce_rtx2080());
+  EXPECT_EQ(device::find_device("no such gpu"), nullptr);
+}
+
+TEST(DeviceSpec, DpRatioReflectsConsumerCard) {
+  EXPECT_GT(device::volta_v100().dp_ratio(), 0.3);
+  EXPECT_LT(device::geforce_rtx2080().dp_ratio(), 0.06);
+}
+
+TEST(Staged, RealLayoutIsLimbPlanar) {
+  using T = md::qd_real;
+  std::mt19937_64 gen(61);
+  auto m = blas::random_matrix<T>(3, 4, gen);
+  auto s = device::Staged2D<T>::from_host(m);
+  // plane(k) holds limb k of every element, row-major: coalesced reads.
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j)
+      for (int k = 0; k < 4; ++k)
+        EXPECT_EQ(s.plane(k)[i * 4 + j], m(i, j).limb(k));
+  EXPECT_EQ(s.bytes(), 3 * 4 * 4 * 8);
+}
+
+TEST(Staged, RoundTripReal) {
+  using T = md::od_real;
+  std::mt19937_64 gen(62);
+  auto m = blas::random_matrix<T>(5, 2, gen);
+  auto back = device::Staged2D<T>::from_host(m).to_host();
+  EXPECT_TRUE(back == m);
+}
+
+TEST(Staged, RoundTripComplex) {
+  using Z = md::qd_complex;
+  std::mt19937_64 gen(63);
+  auto m = blas::random_matrix<Z>(4, 3, gen);
+  auto s = device::Staged2D<Z>::from_host(m);
+  EXPECT_EQ(s.bytes(), 4 * 3 * 8 * 8);  // 2*4 planes of doubles
+  EXPECT_TRUE(s.to_host() == m);
+  // real/imaginary parts are stored in separate stages (paper §2).
+  EXPECT_EQ(s.plane(0)[0], m(0, 0).re.limb(0));
+  EXPECT_EQ(s.plane(4)[0], m(0, 0).im.limb(0));
+}
+
+TEST(Staged, VectorRoundTrip) {
+  using T = md::dd_real;
+  std::mt19937_64 gen(64);
+  auto v = blas::random_vector<T>(7, gen);
+  auto s = device::Staged1D<T>::from_host(v);
+  EXPECT_EQ(s.size(), 7);
+  auto back = s.to_host();
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(back[i] == v[i]);
+}
+
+TEST(TimingModel, PairIntensityGrowsWithPrecision) {
+  using device::pair_intensity;
+  EXPECT_LT(pair_intensity(md::Precision::d1), pair_intensity(md::Precision::d2));
+  EXPECT_LT(pair_intensity(md::Precision::d2), pair_intensity(md::Precision::d4));
+  EXPECT_LT(pair_intensity(md::Precision::d4), pair_intensity(md::Precision::d8));
+  // dd: (23+20) flops over 32 bytes
+  EXPECT_NEAR(pair_intensity(md::Precision::d2), 43.0 / 32.0, 1e-12);
+}
+
+TEST(TimingModel, EfficiencyRisesWithPrecision) {
+  const auto& v = device::volta_v100();
+  const double e2 = device::efficiency(v, md::Precision::d2);
+  const double e4 = device::efficiency(v, md::Precision::d4);
+  const double e8 = device::efficiency(v, md::Precision::d8);
+  EXPECT_LT(e2, e4);
+  EXPECT_LT(e4, e8);
+  EXPECT_LE(e8, 0.9);
+  EXPECT_GT(e2, 0.1);
+}
+
+TEST(TimingModel, RidgePointV100) {
+  // The paper: 7900/870 = 9.08 flops per byte.
+  EXPECT_NEAR(device::ridge_point(device::volta_v100()), 9.08, 0.01);
+}
+
+TEST(TimingModel, RooflineIsMinOfCeilings) {
+  const auto& v = device::volta_v100();
+  EXPECT_DOUBLE_EQ(device::roofline_gflops(v, 1.0), 870.0);
+  EXPECT_DOUBLE_EQ(device::roofline_gflops(v, 100.0), 7900.0);
+}
+
+TEST(TimingModel, MoreFlopsTakeLonger) {
+  const auto& v = device::volta_v100();
+  md::OpTally small{.mul = 1000000};
+  md::OpTally big{.mul = 10000000};
+  const double ts = device::kernel_time_ms(v, md::Precision::d4, small, 0,
+                                           1000, 128);
+  const double tb =
+      device::kernel_time_ms(v, md::Precision::d4, big, 0, 1000, 128);
+  EXPECT_LT(ts, tb);
+}
+
+TEST(TimingModel, LaunchOverheadIsFloor) {
+  const auto& v = device::volta_v100();
+  const double t = device::kernel_time_ms(v, md::Precision::d2, {}, 0, 1, 32);
+  EXPECT_GE(t, device::default_params().launch_overhead_ms);
+}
+
+TEST(TimingModel, BandwidthBoundKernel) {
+  const auto& v = device::volta_v100();
+  // 87 GB at 870 GB/s = 100 ms, with negligible flops.
+  md::OpTally tiny{.add = 1};
+  const double t = device::kernel_time_ms(v, md::Precision::d2, tiny,
+                                          87'000'000'000LL, 100000, 128);
+  EXPECT_NEAR(t, 100.0, 1.0);
+}
+
+TEST(TimingModel, FasterDeviceIsFaster) {
+  md::OpTally ops{.add = 50000000, .mul = 50000000};
+  const double tv = device::kernel_time_ms(device::volta_v100(),
+                                           md::Precision::d4, ops, 0,
+                                           100000, 128);
+  const double tp = device::kernel_time_ms(device::pascal_p100(),
+                                           md::Precision::d4, ops, 0,
+                                           100000, 128);
+  const double tc = device::kernel_time_ms(device::tesla_c2050(),
+                                           md::Precision::d4, ops, 0,
+                                           100000, 128);
+  EXPECT_LT(tv, tp);
+  EXPECT_LT(tp, tc);
+  EXPECT_NEAR(tp / tv, 1.68, 0.2);  // peak-ratio scaling in the
+                                    // throughput regime
+}
+
+TEST(TimingModel, LowOccupancySlowsKernels) {
+  const auto& v = device::volta_v100();
+  md::OpTally ops{.add = 1000000, .mul = 1000000};
+  const double t_full =
+      device::kernel_time_ms(v, md::Precision::d4, ops, 0, 10000, 128);
+  const double t_single =
+      device::kernel_time_ms(v, md::Precision::d4, ops, 0, 1, 128);
+  EXPECT_GT(t_single, t_full);
+}
+
+TEST(TimingModel, TransferModelScalesWithBytes) {
+  const auto& v = device::volta_v100();
+  const double t1 = device::transfer_time_ms(v, 1'000'000);
+  const double t2 = device::transfer_time_ms(v, 2'000'000);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(Launch, FunctionalBodiesRunAndAreCounted) {
+  device::Device dev(device::volta_v100(), md::Precision::d2,
+                     device::ExecMode::functional);
+  md::OpTally declared{.add = 3};
+  int ran = 0;
+  dev.launch("stage-a", 4, 32, declared, 100, {}, [&] {
+    ran = 1;
+    md::dd_real a(1.0), b(2.0);
+    auto c = a + b;
+    auto d = c + b;
+    auto e = d + b;
+    (void)e;
+  });
+  EXPECT_EQ(ran, 1);
+  ASSERT_EQ(dev.stages().size(), 1u);
+  EXPECT_EQ(dev.stages()[0].name, "stage-a");
+  EXPECT_EQ(dev.stages()[0].launches, 1);
+  EXPECT_EQ(dev.stages()[0].measured.add, 3);
+  EXPECT_TRUE(dev.measured_total() == dev.analytic_total());
+}
+
+TEST(Launch, DryRunSkipsBodies) {
+  device::Device dev(device::volta_v100(), md::Precision::d2,
+                     device::ExecMode::dry_run);
+  bool ran = false;
+  dev.launch("s", 1, 32, md::OpTally{.mul = 5}, 64, {}, [&] { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(dev.analytic_total().mul, 5);
+  EXPECT_EQ(dev.measured_total().md_ops(), 0);
+  EXPECT_GT(dev.kernel_ms(), 0.0);
+}
+
+TEST(Launch, StagesAggregateInFirstUseOrder) {
+  device::Device dev(device::volta_v100(), md::Precision::d2,
+                     device::ExecMode::dry_run);
+  dev.launch("first", 1, 32, {}, 0, {}, [] {});
+  dev.launch("second", 1, 32, {}, 0, {}, [] {});
+  dev.launch("first", 2, 32, md::OpTally{.add = 1}, 10, {}, [] {});
+  ASSERT_EQ(dev.stages().size(), 2u);
+  EXPECT_EQ(dev.stages()[0].name, "first");
+  EXPECT_EQ(dev.stages()[0].launches, 2);
+  EXPECT_EQ(dev.stages()[0].blocks, 3);
+  EXPECT_EQ(dev.stages()[0].bytes, 10);
+  EXPECT_EQ(dev.launches(), 3);
+}
+
+TEST(Launch, WallTimeIncludesTransfers) {
+  device::Device dev(device::volta_v100(), md::Precision::d4,
+                     device::ExecMode::dry_run);
+  dev.launch("k", 10, 128, md::OpTally{.mul = 1000}, 0, {}, [] {});
+  const double kernels_only = dev.wall_ms();
+  dev.transfer(1'000'000'000);  // 1 GB
+  EXPECT_GT(dev.wall_ms(), kernels_only + 50.0);
+  EXPECT_LT(dev.kernel_gflops(), 1e9);
+  EXPECT_LT(dev.wall_gflops(), dev.kernel_gflops());
+}
+
+TEST(Launch, ResetClearsEverything) {
+  device::Device dev(device::volta_v100(), md::Precision::d2,
+                     device::ExecMode::dry_run);
+  dev.launch("k", 1, 32, md::OpTally{.add = 1}, 5, {}, [] {});
+  dev.transfer(100);
+  dev.reset();
+  EXPECT_TRUE(dev.stages().empty());
+  EXPECT_EQ(dev.kernel_ms(), 0.0);
+  EXPECT_EQ(dev.wall_ms(), 0.0);
+}

@@ -1,0 +1,140 @@
+// Error-free transform properties: the returned error term must be the
+// exact rounding error, verifiable in exact integer-representable cases
+// and via algebraic reconstruction in random ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "md/eft.hpp"
+
+namespace md = mdlsq::md;
+
+TEST(TwoSum, ExactOnRepresentableSums) {
+  double s, e;
+  md::two_sum(1.0, 2.0, s, e);
+  EXPECT_EQ(s, 3.0);
+  EXPECT_EQ(e, 0.0);
+}
+
+TEST(TwoSum, CapturesRoundoffOfTinyAddend) {
+  // 1 + 2^-80 rounds to 1; the error term must carry the 2^-80 exactly.
+  const double tiny = std::ldexp(1.0, -80);
+  double s, e;
+  md::two_sum(1.0, tiny, s, e);
+  EXPECT_EQ(s, 1.0);
+  EXPECT_EQ(e, tiny);
+}
+
+TEST(TwoSum, OrderIndependent) {
+  std::mt19937_64 gen(1);
+  std::uniform_real_distribution<double> d(-1e10, 1e10);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = d(gen), b = d(gen);
+    double s1, e1, s2, e2;
+    md::two_sum(a, b, s1, e1);
+    md::two_sum(b, a, s2, e2);
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(e1, e2);
+  }
+}
+
+TEST(TwoSum, ErrorBelowHalfUlpOfSum) {
+  std::mt19937_64 gen(2);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = d(gen), b = d(gen) * 1e-8;
+    double s, e;
+    md::two_sum(a, b, s, e);
+    EXPECT_LE(std::fabs(e), std::ldexp(std::fabs(s), -52));
+    // s is the correctly rounded sum.
+    EXPECT_EQ(s, a + b);
+  }
+}
+
+TEST(QuickTwoSum, AgreesWithTwoSumWhenOrdered) {
+  std::mt19937_64 gen(3);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = d(gen);
+    const double b = d(gen) * 1e-5 * std::fabs(a);
+    double s1, e1, s2, e2;
+    md::quick_two_sum(a, b, s1, e1);
+    md::two_sum(a, b, s2, e2);
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(e1, e2);
+  }
+}
+
+TEST(QuickTwoSum, ZeroLeadingOperand) {
+  double s, e;
+  md::quick_two_sum(0.0, 0.0, s, e);
+  EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(e, 0.0);
+}
+
+TEST(TwoProd, ExactOnSmallIntegers) {
+  double p, e;
+  md::two_prod(3.0, 7.0, p, e);
+  EXPECT_EQ(p, 21.0);
+  EXPECT_EQ(e, 0.0);
+}
+
+TEST(TwoProd, CapturesFullProductOfWideOperands) {
+  // (2^27+1)^2 = 2^54 + 2^28 + 1 does not fit in 53 bits.
+  const double a = std::ldexp(1.0, 27) + 1.0;
+  double p, e;
+  md::two_prod(a, a, p, e);
+  EXPECT_EQ(p + e, a * a);  // reconstruction only sees the rounded value...
+  EXPECT_EQ(e, 1.0);        // ...but the error term is the exact missing 1.
+}
+
+TEST(TwoProd, RandomReconstruction) {
+  std::mt19937_64 gen(4);
+  std::uniform_real_distribution<double> d(-1e8, 1e8);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = d(gen), b = d(gen);
+    double p, e;
+    md::two_prod(a, b, p, e);
+    EXPECT_EQ(p, a * b);
+    EXPECT_LE(std::fabs(e), std::ldexp(std::fabs(p), -52));
+    // p + e == a*b exactly: verify with fma.
+    EXPECT_EQ(e, std::fma(a, b, -p));
+  }
+}
+
+TEST(TwoSqr, MatchesTwoProd) {
+  std::mt19937_64 gen(5);
+  std::uniform_real_distribution<double> d(-1e8, 1e8);
+  for (int i = 0; i < 500; ++i) {
+    const double a = d(gen);
+    double p1, e1, p2, e2;
+    md::two_sqr(a, p1, e1);
+    md::two_prod(a, a, p2, e2);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(e1, e2);
+  }
+}
+
+TEST(ThreeSum, SumPreserved) {
+  std::mt19937_64 gen(6);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    double a = d(gen), b = d(gen) * 1e-10, c = d(gen) * 1e-20;
+    const long double exact = (long double)a + b + c;
+    md::three_sum(a, b, c);
+    // long double (64-bit mantissa) bounds what this check can observe.
+    EXPECT_NEAR((double)((long double)a + b + c - exact), 0.0,
+                std::ldexp(std::fabs(a) + 1.0, -62));
+    // a carries the rounded total.
+    EXPECT_NEAR(a, (double)exact, std::ldexp(std::fabs((double)exact), -50));
+  }
+}
+
+TEST(Eft, SpecialValuesPropagate) {
+  double s, e;
+  md::two_sum(std::numeric_limits<double>::infinity(), 1.0, s, e);
+  EXPECT_TRUE(std::isinf(s));
+  md::two_prod(std::numeric_limits<double>::quiet_NaN(), 2.0, s, e);
+  EXPECT_TRUE(std::isnan(s));
+}

@@ -1,0 +1,239 @@
+// Transcendental functions at full multiple-double precision: constants,
+// functional identities, inverse-function round trips, known values,
+// series/edge behaviour — for double double, quad double and octo double.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "md/elementary.hpp"
+#include "md/random.hpp"
+
+using mdlsq::md::mdreal;
+namespace md = mdlsq::md;
+
+template <class T>
+class ElemTest : public ::testing::Test {};
+
+using Sizes = ::testing::Types<mdreal<2>, mdreal<4>, mdreal<8>>;
+TYPED_TEST_SUITE(ElemTest, Sizes);
+
+namespace {
+template <class T>
+double ulps_err(const T& got, const T& want, double scale = 1.0) {
+  return std::fabs((got - want).to_double()) / (T::eps() * scale);
+}
+}  // namespace
+
+TYPED_TEST(ElemTest, ConstantsSatisfyDefiningRelations) {
+  using T = TypeParam;
+  constexpr int N = T::limbs;
+  // sqrt2^2 = 2
+  EXPECT_LE(ulps_err(md::sqrt2<N>() * md::sqrt2<N>(), T(2.0)), 64);
+  // two_pi = 2 pi, half_pi = pi/2
+  EXPECT_LE(ulps_err(md::two_pi<N>(), ldexp(md::pi<N>(), 1), 8.0), 64);
+  EXPECT_LE(ulps_err(md::half_pi<N>(), ldexp(md::pi<N>(), -1), 2.0), 64);
+  // leading digits
+  EXPECT_NEAR(md::pi<N>().to_double(), 3.141592653589793, 1e-15);
+  EXPECT_NEAR(md::e_const<N>().to_double(), 2.718281828459045, 1e-15);
+}
+
+TYPED_TEST(ElemTest, ExpOfOneIsE) {
+  using T = TypeParam;
+  constexpr int N = T::limbs;
+  EXPECT_LE(ulps_err(md::exp(T(1.0)), md::e_const<N>(), 4.0), 256);
+}
+
+TYPED_TEST(ElemTest, ExpFunctionalEquation) {
+  using T = TypeParam;
+  std::mt19937_64 gen(201);
+  for (int it = 0; it < 20; ++it) {
+    auto a = md::random_uniform<T::limbs>(gen) * 3.0;
+    auto b = md::random_uniform<T::limbs>(gen) * 3.0;
+    auto lhs = md::exp(a + b);
+    auto rhs = md::exp(a) * md::exp(b);
+    const double scale = std::fabs(lhs.to_double()) + 1.0;
+    EXPECT_LE(ulps_err(lhs, rhs, scale), 1024) << "iteration " << it;
+  }
+}
+
+TYPED_TEST(ElemTest, ExpSpecialValues) {
+  using T = TypeParam;
+  EXPECT_EQ(md::exp(T(0.0)).to_double(), 1.0);
+  EXPECT_TRUE(std::isinf(md::exp(T(1000.0)).to_double()));
+  EXPECT_EQ(md::exp(T(-1000.0)).to_double(), 0.0);
+  EXPECT_TRUE(md::exp(T(std::numeric_limits<double>::quiet_NaN())).isnan());
+}
+
+TYPED_TEST(ElemTest, LogInvertsExp) {
+  using T = TypeParam;
+  std::mt19937_64 gen(202);
+  for (int it = 0; it < 20; ++it) {
+    auto x = md::random_uniform<T::limbs>(gen) * 5.0;
+    auto r = md::log(md::exp(x)) - x;
+    EXPECT_LE(std::fabs(r.to_double()), 512 * T::eps() * 6.0);
+  }
+}
+
+TYPED_TEST(ElemTest, ExpInvertsLog) {
+  using T = TypeParam;
+  std::mt19937_64 gen(203);
+  for (int it = 0; it < 20; ++it) {
+    auto x = abs(md::random_uniform<T::limbs>(gen) * 100.0) + T(0.01);
+    auto r = md::exp(md::log(x)) - x;
+    EXPECT_LE(std::fabs(r.to_double()),
+              512 * T::eps() * (std::fabs(x.to_double()) + 1.0));
+  }
+}
+
+TYPED_TEST(ElemTest, LogSpecialValues) {
+  using T = TypeParam;
+  constexpr int N = T::limbs;
+  EXPECT_EQ(md::log(T(1.0)).to_double(), 0.0);
+  EXPECT_LE(ulps_err(md::log(T(2.0)), md::ln2<N>(), 2.0), 256);
+  EXPECT_TRUE(md::log(T(-1.0)).isnan());
+  EXPECT_TRUE(std::isinf(md::log(T(0.0)).to_double()));
+  EXPECT_LE(ulps_err(md::log10(T(1000.0)), T(3.0), 4.0), 256);
+}
+
+TYPED_TEST(ElemTest, PowBasics) {
+  using T = TypeParam;
+  EXPECT_LE(ulps_err(md::pow(T(2.0), T(10.0)), T(1024.0), 2048.0), 256);
+  EXPECT_LE(ulps_err(md::pow(T(9.0), T(0.5)), T(3.0), 4.0), 256);
+}
+
+TYPED_TEST(ElemTest, PythagoreanIdentity) {
+  using T = TypeParam;
+  std::mt19937_64 gen(204);
+  for (int it = 0; it < 20; ++it) {
+    auto x = md::random_uniform<T::limbs>(gen) * 10.0;
+    T s, c;
+    md::sincos(x, s, c);
+    auto r = s * s + c * c - T(1.0);
+    EXPECT_LE(std::fabs(r.to_double()), 256 * T::eps());
+  }
+}
+
+TYPED_TEST(ElemTest, TrigKnownValues) {
+  using T = TypeParam;
+  constexpr int N = T::limbs;
+  // sin(pi/6) = 1/2
+  EXPECT_LE(ulps_err(md::sin(md::pi<N>() / 6.0), T(0.5)), 512);
+  // cos(pi/3) = 1/2
+  EXPECT_LE(ulps_err(md::cos(md::pi<N>() / 3.0), T(0.5)), 512);
+  // sin(pi/4) = sqrt(2)/2
+  EXPECT_LE(ulps_err(md::sin(md::pi<N>() / 4.0), ldexp(md::sqrt2<N>(), -1)),
+            512);
+  // tan(pi/4) = 1
+  EXPECT_LE(ulps_err(md::tan(md::pi<N>() / 4.0), T(1.0)), 512);
+  // sin(pi) = 0 to working precision
+  EXPECT_LE(std::fabs(md::sin(md::pi<N>()).to_double()), 512 * T::eps());
+  EXPECT_EQ(md::sin(T(0.0)).to_double(), 0.0);
+  EXPECT_EQ(md::cos(T(0.0)).to_double(), 1.0);
+}
+
+TYPED_TEST(ElemTest, TrigQuadrantsAndParity) {
+  using T = TypeParam;
+  std::mt19937_64 gen(205);
+  for (int it = 0; it < 12; ++it) {
+    auto x = md::random_uniform<T::limbs>(gen) * 7.0;
+    EXPECT_LE(std::fabs((md::sin(-x) + md::sin(x)).to_double()),
+              64 * T::eps());
+    EXPECT_LE(std::fabs((md::cos(-x) - md::cos(x)).to_double()),
+              64 * T::eps());
+    // sin(x + pi) = -sin(x)
+    auto shifted = md::sin(x + md::pi<TypeParam::limbs>());
+    EXPECT_LE(std::fabs((shifted + md::sin(x)).to_double()), 512 * T::eps());
+  }
+}
+
+TYPED_TEST(ElemTest, AtanInvertsTan) {
+  using T = TypeParam;
+  std::mt19937_64 gen(206);
+  for (int it = 0; it < 20; ++it) {
+    auto x = md::random_uniform<T::limbs>(gen) * 1.4;  // inside (-pi/2,pi/2)
+    auto r = md::atan(md::tan(x)) - x;
+    EXPECT_LE(std::fabs(r.to_double()), 1024 * T::eps());
+  }
+}
+
+TYPED_TEST(ElemTest, AtanOneIsQuarterPi) {
+  using T = TypeParam;
+  constexpr int N = T::limbs;
+  EXPECT_LE(ulps_err(md::atan(T(1.0)), md::pi<N>() / 4.0), 512);
+  EXPECT_LE(ulps_err(md::atan(T(std::numeric_limits<double>::infinity())),
+                     md::half_pi<N>(), 2.0),
+            64);
+}
+
+TYPED_TEST(ElemTest, Atan2Quadrants) {
+  using T = TypeParam;
+  constexpr int N = T::limbs;
+  const T one(1.0);
+  EXPECT_LE(ulps_err(md::atan2(one, one), md::pi<N>() / 4.0), 512);
+  EXPECT_LE(ulps_err(md::atan2(one, -one), md::pi<N>() * 0.75, 3.0), 512);
+  EXPECT_LE(ulps_err(md::atan2(-one, -one), -md::pi<N>() * 0.75, 3.0), 512);
+  EXPECT_LE(ulps_err(md::atan2(-one, one), -md::pi<N>() / 4.0), 512);
+  EXPECT_LE(ulps_err(md::atan2(one, T(0.0)), md::half_pi<N>(), 2.0), 64);
+}
+
+TYPED_TEST(ElemTest, AsinAcos) {
+  using T = TypeParam;
+  constexpr int N = T::limbs;
+  EXPECT_LE(ulps_err(md::asin(T(0.5)), md::pi<N>() / 6.0), 512);
+  EXPECT_LE(ulps_err(md::acos(T(0.5)), md::pi<N>() / 3.0), 512);
+  EXPECT_LE(ulps_err(md::asin(T(1.0)), md::half_pi<N>(), 2.0), 64);
+  EXPECT_TRUE(md::asin(T(1.5)).isnan());
+  // asin(sin(x)) = x on the principal branch
+  std::mt19937_64 gen(207);
+  for (int it = 0; it < 10; ++it) {
+    auto x = md::random_uniform<T::limbs>(gen) * 1.5;
+    auto r = md::asin(md::sin(x)) - x;
+    EXPECT_LE(std::fabs(r.to_double()), 4096 * T::eps());
+  }
+}
+
+TYPED_TEST(ElemTest, HyperbolicIdentity) {
+  using T = TypeParam;
+  std::mt19937_64 gen(208);
+  for (int it = 0; it < 20; ++it) {
+    auto x = md::random_uniform<T::limbs>(gen) * 4.0;
+    auto r = md::cosh(x) * md::cosh(x) - md::sinh(x) * md::sinh(x) - T(1.0);
+    const double scale = std::pow(std::cosh(x.to_double()), 2.0);
+    EXPECT_LE(std::fabs(r.to_double()), 512 * T::eps() * scale);
+  }
+}
+
+TYPED_TEST(ElemTest, SinhSmallArgumentsAvoidCancellation) {
+  using T = TypeParam;
+  // sinh(x) ~ x + x^3/6 + x^5/120 for tiny x; the exp-based formula
+  // would lose most limbs here.  x = 2^-100 puts the first omitted term
+  // (x^7/5040 ~ 4e-215) below even octo-double resolution.
+  const T x = ldexp(T(1.0), -100);
+  const T x2 = x * x;
+  const T want = x + x * x2 / 6.0 + x * x2 * x2 / 120.0;
+  EXPECT_LE(std::fabs((md::sinh(x) - want).to_double()),
+            8 * T::eps() * std::fabs(x.to_double()));
+}
+
+TYPED_TEST(ElemTest, TanhBounded) {
+  using T = TypeParam;
+  EXPECT_LT(std::fabs(md::tanh(T(20.0)).to_double() - 1.0), 1e-15);
+  EXPECT_LE(std::fabs(md::tanh(T(0.0)).to_double()), 0.0);
+}
+
+// The precision ladder: each format must deliver its own accuracy on a
+// hard identity (Machin-like formula for pi).
+TEST(ElementaryLadder, MachinFormulaHitsWorkingPrecision) {
+  auto check = [](auto tag, double bound) {
+    using T = decltype(tag);
+    constexpr int N = T::limbs;
+    // pi = 16 atan(1/5) - 4 atan(1/239)
+    auto machin = ldexp(md::atan(T(1.0) / T(5.0)), 4) -
+                  ldexp(md::atan(T(1.0) / T(239.0)), 2);
+    EXPECT_LE(std::fabs((machin - md::pi<N>()).to_double()), bound);
+  };
+  check(mdreal<2>{}, 1e-29);
+  check(mdreal<4>{}, 1e-60);
+  check(mdreal<8>{}, 1e-123);
+}

@@ -1,0 +1,168 @@
+// Expansion-algebra invariants: grow and sum_terms are exact; their output
+// is non-overlapping and ordered; extract and renorm produce canonical
+// limbs that faithfully round the input.
+//
+// Exactness beyond long-double range is verified with the expansion
+// algebra itself: sum_terms(a ++ -b) must collapse to the single value 0
+// when a and b represent the same number (distillation is provably exact,
+// so this check is circular only in the benign direction: a false zero
+// would require two independent bugs to cancel).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "md/expansion.hpp"
+
+namespace expn = mdlsq::md::expn;
+
+namespace {
+
+// Non-overlapping, increasing magnitude (Shewchuk invariant), checked
+// pairwise: the smaller component is below one ulp of the larger.
+void expect_nonoverlapping_lsf(const double* e, int n) {
+  for (int i = 0; i + 1 < n; ++i) {
+    if (e[i] == 0.0) continue;
+    ASSERT_NE(e[i + 1], 0.0) << "zero above nonzero at " << i;
+    EXPECT_LE(std::fabs(e[i]), std::ldexp(std::fabs(e[i + 1]), -1))
+        << "components " << i << "," << i + 1 << " overlap";
+  }
+}
+
+// Exact difference of two digit sequences, as an expansion; empty/zero
+// means the sequences represent the same real number.
+std::vector<double> exact_diff(const double* a, int na, const double* b,
+                               int nb) {
+  std::vector<double> terms;
+  for (int i = 0; i < na; ++i) terms.push_back(a[i]);
+  for (int i = 0; i < nb; ++i) terms.push_back(-b[i]);
+  std::vector<double> h(terms.size());
+  const int len = expn::sum_terms(terms.data(), (int)terms.size(), h.data());
+  h.resize(len);
+  return h;
+}
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+TEST(Grow, ExactSingle) {
+  double e[1] = {1.0};
+  double h[2];
+  const int len = expn::grow(e, 1, std::ldexp(1.0, -70), h);
+  ASSERT_EQ(len, 2);
+  EXPECT_EQ(h[0], std::ldexp(1.0, -70));
+  EXPECT_EQ(h[1], 1.0);
+}
+
+TEST(Grow, CancellationToZero) {
+  double e[1] = {1.0};
+  double h[2];
+  const int len = expn::grow(e, 1, -1.0, h);
+  ASSERT_EQ(len, 1);
+  EXPECT_EQ(h[0], 0.0);
+}
+
+TEST(SumTerms, ExactAndNonoverlapping) {
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::uniform_int_distribution<int> scale(-60, 60);
+  for (int it = 0; it < 300; ++it) {
+    double t[16], h[16];
+    for (int i = 0; i < 16; ++i) t[i] = std::ldexp(d(gen), scale(gen));
+    const int len = expn::sum_terms(t, 16, h);
+    ASSERT_GE(len, 1);
+    ASSERT_LE(len, 16);
+    expect_nonoverlapping_lsf(h, len);
+    // Exactness: h - t distills to zero.
+    const auto diff = exact_diff(h, len, t, 16);
+    EXPECT_EQ(max_abs(diff), 0.0);
+  }
+}
+
+TEST(SumTerms, MassiveCancellation) {
+  // a + b - a - b + tiny must reduce exactly to tiny.
+  const double tiny = std::ldexp(1.0, -500);
+  double t[5] = {1.0e30, -1.0e30, 3.5, -3.5, tiny};
+  double h[5];
+  const int len = expn::sum_terms(t, 5, h);
+  ASSERT_EQ(len, 1);
+  EXPECT_EQ(h[0], tiny);
+}
+
+TEST(Extract, PadsWithZeros) {
+  double e[1] = {2.5};
+  double out[4];
+  expn::extract(e, 1, out, 4);
+  EXPECT_EQ(out[0], 2.5);
+  EXPECT_EQ(out[1], 0.0);
+  EXPECT_EQ(out[2], 0.0);
+  EXPECT_EQ(out[3], 0.0);
+}
+
+TEST(Extract, RenormalizedAndFaithful) {
+  std::mt19937_64 gen(8);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int it = 0; it < 300; ++it) {
+    double t[12], h[12], out[2];
+    for (int i = 0; i < 12; ++i) t[i] = std::ldexp(d(gen), -8 * i);
+    const int len = expn::sum_terms(t, 12, h);
+    expn::extract(h, len, out, 2);
+    // out is renormalized: |out[1]| <= ulp(out[0]).
+    if (out[0] != 0.0)
+      EXPECT_LE(std::fabs(out[1]), std::ldexp(std::fabs(out[0]), -52));
+    // and faithfully truncates: |out - t| below one ulp of out[1].
+    double msf[2] = {out[1], out[0]};  // to LSF order for exact_diff
+    const auto diff = exact_diff(msf, 2, t, 12);
+    EXPECT_LE(max_abs(diff), std::ldexp(std::fabs(out[0]) + 1e-300, -104));
+  }
+}
+
+TEST(Renorm, CanonicalizesOrderedOverlappingInput) {
+  std::mt19937_64 gen(9);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int it = 0; it < 300; ++it) {
+    double x[6], xcopy[6], out[4];
+    for (int i = 0; i < 6; ++i) x[i] = std::ldexp(d(gen), -30 * i);
+    for (int i = 0; i < 6; ++i) xcopy[i] = x[i];
+    expn::renorm(x, 6, out, 4);
+    for (int i = 0; i + 1 < 4; ++i)
+      if (out[i] != 0.0)
+        EXPECT_LE(std::fabs(out[i + 1]), std::ldexp(std::fabs(out[i]), -52));
+    // Faithful within one ulp of the last limb (~2^-208 relative here).
+    double lsf[4] = {out[3], out[2], out[1], out[0]};
+    const auto diff = exact_diff(lsf, 4, xcopy, 6);
+    EXPECT_LE(max_abs(diff), std::ldexp(std::fabs(out[0]) + 1e-300, -200));
+  }
+}
+
+TEST(Renorm, SingleTerm) {
+  double x[1] = {-7.25};
+  double out[3];
+  expn::renorm(x, 1, out, 3);
+  EXPECT_EQ(out[0], -7.25);
+  EXPECT_EQ(out[1], 0.0);
+  EXPECT_EQ(out[2], 0.0);
+}
+
+TEST(Renorm, AllZeros) {
+  double x[4] = {0, 0, 0, 0};
+  double out[2];
+  expn::renorm(x, 4, out, 2);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(Renorm, HandlesHeavyCancellationSafely) {
+  // Leading terms cancel; the result must surface the small tail intact.
+  double x[4] = {1.0, -1.0, std::ldexp(3.0, -200), std::ldexp(1.0, -260)};
+  double out[2];
+  expn::renorm(x, 4, out, 2);
+  EXPECT_EQ(out[0], std::ldexp(3.0, -200));
+  EXPECT_EQ(out[1], std::ldexp(1.0, -260));
+}

@@ -1,0 +1,148 @@
+// Elementary functions (sqrt, powi, copysign, min/max) and decimal I/O
+// round-tripping at every working precision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "md/functions.hpp"
+#include "md/io.hpp"
+#include "md/random.hpp"
+
+using mdlsq::md::mdreal;
+
+template <class T>
+class MdFuncTest : public ::testing::Test {};
+
+using Sizes = ::testing::Types<mdreal<2>, mdreal<4>, mdreal<8>>;
+TYPED_TEST_SUITE(MdFuncTest, Sizes);
+
+TYPED_TEST(MdFuncTest, SqrtSquaresBack) {
+  std::mt19937_64 gen(21);
+  for (int it = 0; it < 200; ++it) {
+    auto a = abs(mdlsq::md::random_uniform<TypeParam::limbs>(gen)) +
+             TypeParam(0.01);
+    auto s = sqrt(a);
+    auto r = s * s - a;
+    EXPECT_LE(std::fabs(r.to_double()), 16.0 * TypeParam::eps() * 2.0);
+  }
+}
+
+TYPED_TEST(MdFuncTest, SqrtExactOnSquares) {
+  EXPECT_EQ(sqrt(TypeParam(49.0)).to_double(), 7.0);
+  EXPECT_EQ(sqrt(TypeParam(0.0)).to_double(), 0.0);
+  EXPECT_EQ(sqrt(TypeParam(0.25)).to_double(), 0.5);
+}
+
+TYPED_TEST(MdFuncTest, SqrtOfNegativeIsNaN) {
+  EXPECT_TRUE(sqrt(TypeParam(-1.0)).isnan());
+}
+
+TYPED_TEST(MdFuncTest, SqrtCountsAsOneOperation) {
+  mdlsq::md::OpTally t;
+  {
+    mdlsq::md::ScopedTally scope(t);
+    (void)sqrt(TypeParam(2.0));
+  }
+  EXPECT_EQ(t.sqrt, 1);
+  EXPECT_EQ(t.md_ops(), 1);
+}
+
+TYPED_TEST(MdFuncTest, SqrtTwoHasFullPrecision) {
+  // sqrt(2)^2 - 2 must vanish to working precision; also compare the
+  // leading digits against the known value.
+  auto s = sqrt(TypeParam(2.0));
+  EXPECT_NEAR(s.to_double(), 1.4142135623730951, 1e-15);
+  EXPECT_LE(std::fabs((s * s - TypeParam(2.0)).to_double()),
+            16.0 * TypeParam::eps());
+}
+
+TYPED_TEST(MdFuncTest, PowiMatchesRepeatedMultiplication) {
+  TypeParam a(1.0 / 3.0);
+  auto p5 = powi(a, 5);
+  auto m5 = a * a * a * a * a;
+  EXPECT_LE(std::fabs((p5 - m5).to_double()), 16.0 * TypeParam::eps());
+  EXPECT_EQ(powi(a, 0).to_double(), 1.0);
+  auto pm2 = powi(TypeParam(2.0), -2);
+  EXPECT_EQ(pm2.to_double(), 0.25);
+}
+
+TYPED_TEST(MdFuncTest, MinMaxCopysign) {
+  TypeParam a(2.0), b(-3.0);
+  EXPECT_EQ(mdlsq::md::max(a, b).to_double(), 2.0);
+  EXPECT_EQ(mdlsq::md::min(a, b).to_double(), -3.0);
+  EXPECT_EQ(mdlsq::md::copysign(a, b).to_double(), -2.0);
+  EXPECT_EQ(mdlsq::md::copysign(b, a).to_double(), 3.0);
+}
+
+TYPED_TEST(MdFuncTest, InvTimesSelfIsOne) {
+  std::mt19937_64 gen(22);
+  for (int it = 0; it < 100; ++it) {
+    auto a = mdlsq::md::random_uniform<TypeParam::limbs>(gen);
+    if (std::fabs(a.to_double()) < 1e-3) continue;
+    auto r = inv(a) * a - TypeParam(1.0);
+    EXPECT_LE(std::fabs(r.to_double()), 32.0 * TypeParam::eps());
+  }
+}
+
+TYPED_TEST(MdFuncTest, ToStringLeadingDigits) {
+  auto x = TypeParam(1.0) / TypeParam(3.0);
+  auto s = mdlsq::md::to_string(x, 20);
+  EXPECT_EQ(s.substr(0, 10), "3.33333333");
+  EXPECT_NE(s.find("e-1"), std::string::npos);
+  EXPECT_EQ(mdlsq::md::to_string(TypeParam(0.0)), "0.0");
+  EXPECT_EQ(mdlsq::md::to_string(TypeParam(-2.0), 4).substr(0, 2), "-2");
+}
+
+TYPED_TEST(MdFuncTest, StringRoundTrip) {
+  std::mt19937_64 gen(23);
+  for (int it = 0; it < 50; ++it) {
+    auto x = mdlsq::md::random_uniform<TypeParam::limbs>(gen) *
+             TypeParam(1234.5);
+    auto s = mdlsq::md::to_string(x);
+    auto y = mdlsq::md::from_string<TypeParam::limbs>(s);
+    // Decimal round trip through 16N digits: relative error within a few
+    // hundred ulps (pow10 rescaling is not exactly rounded).
+    EXPECT_LE(std::fabs((x - y).to_double()),
+              1e4 * TypeParam::eps() * (std::fabs(x.to_double()) + 1.0));
+  }
+}
+
+TYPED_TEST(MdFuncTest, FromStringForms) {
+  using mdlsq::md::from_string;
+  EXPECT_EQ(from_string<TypeParam::limbs>("42").to_double(), 42.0);
+  EXPECT_EQ(from_string<TypeParam::limbs>("-0.5").to_double(), -0.5);
+  EXPECT_EQ(from_string<TypeParam::limbs>("2.5e2").to_double(), 250.0);
+  EXPECT_EQ(from_string<TypeParam::limbs>("2.5E-1").to_double(), 0.25);
+  EXPECT_EQ(from_string<TypeParam::limbs>("  +7  ").to_double(), 7.0);
+}
+
+TYPED_TEST(MdFuncTest, FromStringFullPrecision) {
+  // 128 digits of 1/3; parsing then multiplying by 3 must give 1 to the
+  // format's precision.
+  std::string third = "0.";
+  for (int i = 0; i < 140; ++i) third += '3';
+  auto x = mdlsq::md::from_string<TypeParam::limbs>(third);
+  EXPECT_LE(std::fabs((x * TypeParam(3.0) - TypeParam(1.0)).to_double()),
+            1e3 * TypeParam::eps());
+}
+
+TYPED_TEST(MdFuncTest, NonFiniteToString) {
+  EXPECT_EQ(mdlsq::md::to_string(
+                TypeParam(std::numeric_limits<double>::infinity())),
+            "inf");
+  EXPECT_EQ(mdlsq::md::to_string(
+                TypeParam(-std::numeric_limits<double>::infinity())),
+            "-inf");
+  EXPECT_EQ(mdlsq::md::to_string(
+                TypeParam(std::numeric_limits<double>::quiet_NaN())),
+            "nan");
+}
+
+TEST(MdIo, Pow10Consistency) {
+  using mdlsq::md::pow10;
+  auto a = pow10<4>(10);
+  EXPECT_EQ(a.to_double(), 1e10);
+  auto b = pow10<4>(-3) * pow10<4>(3);
+  EXPECT_LE(std::fabs((b - mdreal<4>(1.0)).to_double()), 64.0 * mdreal<4>::eps());
+}

@@ -1,0 +1,145 @@
+// Reference Householder QR: factorization identity A = QR, unitarity of
+// Q, upper-triangularity of R, reflector construction, rectangular and
+// degenerate inputs — for real and complex scalars at several precisions.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "blas/generate.hpp"
+#include "blas/norms.hpp"
+#include "core/householder.hpp"
+
+using namespace mdlsq;
+
+template <class T>
+class HouseholderTest : public ::testing::Test {};
+
+using Scalars = ::testing::Types<md::dd_real, md::qd_real, md::od_real,
+                                 md::dd_complex, md::qd_complex>;
+TYPED_TEST_SUITE(HouseholderTest, Scalars);
+
+namespace {
+template <class T>
+double qr_tol(int n, double ulps = 64.0) {
+  return ulps * n * blas::real_of_t<T>::eps();
+}
+}  // namespace
+
+TYPED_TEST(HouseholderTest, ReflectorAnnihilatesTail) {
+  using T = TypeParam;
+  std::mt19937_64 gen(71);
+  auto x = blas::random_vector<T>(6, gen);
+  auto h = core::make_reflector<T>(std::span<const T>(x));
+  // P x = head * e1: compute P x = x - beta v (v^H x).
+  T vhx{};
+  for (int i = 0; i < 6; ++i) vhx += blas::conj_of(h.v[i]) * x[i];
+  for (int i = 0; i < 6; ++i) {
+    T pxi = x[i] - h.v[i] * (vhx * h.beta);
+    if (i == 0)
+      EXPECT_LE(blas::abs_of(pxi - h.head).to_double(), qr_tol<T>(6));
+    else
+      EXPECT_LE(blas::abs_of(pxi).to_double(), qr_tol<T>(6));
+  }
+  // |head| == |x|_2.
+  auto n2 = blas::norm2(std::span<const T>(x));
+  EXPECT_LE((blas::abs_of(h.head) - n2).to_double(), qr_tol<T>(6));
+}
+
+TYPED_TEST(HouseholderTest, ZeroVectorGivesZeroBeta) {
+  using T = TypeParam;
+  blas::Vector<T> x(4);
+  auto h = core::make_reflector<T>(std::span<const T>(x));
+  EXPECT_TRUE(h.beta.is_zero());
+}
+
+TYPED_TEST(HouseholderTest, SquareFactorization) {
+  using T = TypeParam;
+  std::mt19937_64 gen(72);
+  const int n = 24;
+  auto a = blas::random_matrix<T>(n, n, gen);
+  auto f = core::householder_qr(a);
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(f.q, f.r), a).to_double(),
+            qr_tol<T>(n));
+  EXPECT_LE(blas::orthogonality_defect(f.q).to_double(), qr_tol<T>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < i; ++j)
+      EXPECT_LE(blas::abs_of(f.r(i, j)).to_double(), qr_tol<T>(n))
+          << "R not upper triangular at " << i << "," << j;
+}
+
+TYPED_TEST(HouseholderTest, RectangularFactorization) {
+  using T = TypeParam;
+  std::mt19937_64 gen(73);
+  auto a = blas::random_matrix<T>(20, 8, gen);
+  auto f = core::householder_qr(a);
+  EXPECT_EQ(f.q.rows(), 20);
+  EXPECT_EQ(f.q.cols(), 20);
+  EXPECT_EQ(f.r.rows(), 20);
+  EXPECT_EQ(f.r.cols(), 8);
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(f.q, f.r), a).to_double(),
+            qr_tol<T>(20));
+  EXPECT_LE(blas::orthogonality_defect(f.q).to_double(), qr_tol<T>(20));
+}
+
+TYPED_TEST(HouseholderTest, AlreadyTriangularInput) {
+  using T = TypeParam;
+  std::mt19937_64 gen(74);
+  auto u = blas::random_upper_triangular<T>(10, gen);
+  auto f = core::householder_qr(u);
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(f.q, f.r), u).to_double(),
+            qr_tol<T>(10));
+}
+
+TYPED_TEST(HouseholderTest, RankDeficientColumnHandled) {
+  using T = TypeParam;
+  std::mt19937_64 gen(75);
+  auto a = blas::random_matrix<T>(8, 4, gen);
+  for (int i = 0; i < 8; ++i) a(i, 2) = a(i, 1);  // duplicate column
+  auto f = core::householder_qr(a);
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(f.q, f.r), a).to_double(),
+            qr_tol<T>(8));
+  EXPECT_LE(blas::orthogonality_defect(f.q).to_double(), qr_tol<T>(8));
+}
+
+// Parameterized sweep over sizes for the double-double case.
+class HouseholderSize : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(HouseholderSize, FactorizationHolds) {
+  const auto [m, n] = GetParam();
+  std::mt19937_64 gen(76 + m * 100 + n);
+  auto a = blas::random_matrix<md::dd_real>(m, n, gen);
+  auto f = core::householder_qr(a);
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(f.q, f.r), a).to_double(),
+            qr_tol<md::dd_real>(m));
+  EXPECT_LE(blas::orthogonality_defect(f.q).to_double(),
+            qr_tol<md::dd_real>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HouseholderSize,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1}, std::tuple{2, 2},
+                      std::tuple{3, 2}, std::tuple{5, 5}, std::tuple{8, 3},
+                      std::tuple{13, 7}, std::tuple{16, 16},
+                      std::tuple{31, 17}, std::tuple{32, 32},
+                      std::tuple{40, 24}, std::tuple{48, 48}),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(HouseholderStability, HilbertLikeIllConditioned) {
+  // A mildly ill-conditioned matrix: Householder QR must still satisfy
+  // the factorization identity to working precision (backward stability).
+  const int n = 12;
+  blas::Matrix<md::qd_real> h(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      h(i, j) = md::qd_real(1.0) / md::qd_real(i + j + 1);
+  auto f = core::householder_qr(h);
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(f.q, f.r), h).to_double(),
+            1e3 * n * md::qd_real::eps());
+  EXPECT_LE(blas::orthogonality_defect(f.q).to_double(),
+            1e3 * n * md::qd_real::eps());
+}

@@ -1,0 +1,144 @@
+// End-to-end least squares: the device pipeline (blocked QR + Q^H b +
+// tiled back substitution) against the host baseline, the normal-equations
+// optimality condition A^H (b - A x) = 0, overdetermined and square
+// systems, real and complex, and the QR-vs-BS time split of Table 11.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "blas/generate.hpp"
+#include "blas/norms.hpp"
+#include "core/back_substitution.hpp"
+#include "core/least_squares.hpp"
+
+using namespace mdlsq;
+
+namespace {
+template <class T>
+device::Device make_dev(device::ExecMode mode) {
+  return device::Device(device::volta_v100(),
+                        md::Precision(blas::scalar_traits<T>::limbs), mode);
+}
+
+// A^H (b - A x) must vanish at the least-squares solution.
+template <class T>
+double optimality(const blas::Matrix<T>& a, const blas::Vector<T>& x,
+                  const blas::Vector<T>& b) {
+  auto ax = blas::gemv(a, std::span<const T>(x));
+  blas::Vector<T> r(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ax[i];
+  auto g = blas::gemv_adjoint(a, std::span<const T>(r));
+  return blas::norm_inf(std::span<const T>(g)).to_double();
+}
+
+template <class T>
+void check_lsq(int m, int c, int tile) {
+  std::mt19937_64 gen(101 + m + c);
+  auto a = blas::random_matrix<T>(m, c, gen);
+  auto b = blas::random_vector<T>(m, gen);
+  auto dev = make_dev<T>(device::ExecMode::functional);
+  auto res = core::least_squares(dev, a, b, tile);
+  ASSERT_EQ((int)res.x.size(), c);
+
+  const double tol = 1e4 * m * blas::real_of_t<T>::eps();
+  EXPECT_LE(optimality(a, res.x, b), tol);
+
+  // Agreement with the host baseline.
+  auto xh = core::least_squares_host(a, std::span<const T>(b));
+  for (int i = 0; i < c; ++i)
+    EXPECT_LE(blas::abs_of(res.x[i] - xh[i]).to_double(), tol);
+
+  // Tally exactness end to end.
+  for (const auto& s : dev.stages())
+    EXPECT_TRUE(s.measured == s.analytic) << "tally mismatch in " << s.name;
+
+  // Dry run prices the identical pipeline.
+  auto dry = make_dev<T>(device::ExecMode::dry_run);
+  auto dres = core::least_squares_dry<T>(dry, m, c, tile);
+  EXPECT_TRUE(dry.analytic_total() == dev.analytic_total());
+  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dev.kernel_ms());
+  EXPECT_DOUBLE_EQ(dres.qr_kernel_ms, res.qr_kernel_ms);
+  EXPECT_DOUBLE_EQ(dres.bs_kernel_ms, res.bs_kernel_ms);
+}
+}  // namespace
+
+TEST(LeastSquares, SquareDoubleDouble) { check_lsq<md::dd_real>(48, 48, 16); }
+TEST(LeastSquares, SquareQuadDouble) { check_lsq<md::qd_real>(32, 32, 16); }
+TEST(LeastSquares, SquareOctoDouble) { check_lsq<md::od_real>(24, 24, 12); }
+TEST(LeastSquares, OverdeterminedDoubleDouble) {
+  check_lsq<md::dd_real>(80, 32, 16);
+}
+TEST(LeastSquares, OverdeterminedComplex) {
+  check_lsq<md::dd_complex>(48, 24, 12);
+}
+TEST(LeastSquares, ComplexQuadDouble) { check_lsq<md::qd_complex>(24, 24, 12); }
+
+TEST(LeastSquares, ExactlyConsistentSystemHasZeroResidual) {
+  // b in range(A): the residual itself must vanish at working precision.
+  std::mt19937_64 gen(102);
+  auto a = blas::random_matrix<md::qd_real>(40, 20, gen);
+  auto xs = blas::random_vector<md::qd_real>(20, gen);
+  auto b = blas::gemv(a, std::span<const md::qd_real>(xs));
+  auto dev = make_dev<md::qd_real>(device::ExecMode::functional);
+  auto res = core::least_squares(dev, a, b, 10);
+  EXPECT_LE(blas::residual_norm(a, std::span<const md::qd_real>(res.x),
+                                std::span<const md::qd_real>(b))
+                .to_double(),
+            1e5 * md::qd_real::eps());
+  for (int i = 0; i < 20; ++i)
+    EXPECT_LE(blas::abs_of(res.x[i] - xs[i]).to_double(),
+              1e6 * md::qd_real::eps());
+}
+
+TEST(LeastSquares, HostBaselineMinimizesResidual) {
+  // Perturbing the host solution must increase ||b - A x||_2.
+  std::mt19937_64 gen(103);
+  auto a = blas::random_matrix<md::dd_real>(30, 10, gen);
+  auto b = blas::random_vector<md::dd_real>(30, gen);
+  auto x = core::least_squares_host(a, std::span<const md::dd_real>(b));
+  const double r0 = blas::residual_norm(a, std::span<const md::dd_real>(x),
+                                        std::span<const md::dd_real>(b))
+                        .to_double();
+  for (int k = 0; k < 10; ++k) {
+    auto xp = x;
+    xp[k] += md::dd_real(1e-6);
+    const double rp = blas::residual_norm(a, std::span<const md::dd_real>(xp),
+                                          std::span<const md::dd_real>(b))
+                          .to_double();
+    EXPECT_GE(rp, r0);
+  }
+}
+
+TEST(LeastSquares, BsTimeMuchSmallerThanQrTime) {
+  // Table 11: the back substitution kernel time is roughly two orders of
+  // magnitude below the QR kernel time at dimension 1,024, so the solver
+  // keeps the QR's teraflop rate.
+  auto dev = make_dev<md::qd_real>(device::ExecMode::dry_run);
+  auto res = core::least_squares_dry<md::qd_real>(dev, 1024, 1024, 128);
+  EXPECT_GT(res.qr_kernel_ms, 20.0 * res.bs_kernel_ms);
+  EXPECT_GT(dev.kernel_gflops(), 1000.0);
+}
+
+TEST(LeastSquares, SolverFlopsCloseToQrFlops) {
+  auto qr_only = make_dev<md::dd_real>(device::ExecMode::dry_run);
+  core::blocked_qr_dry<md::dd_real>(qr_only, 1024, 1024, 128);
+  auto solver = make_dev<md::dd_real>(device::ExecMode::dry_run);
+  core::least_squares_dry<md::dd_real>(solver, 1024, 1024, 128);
+  EXPECT_NEAR(solver.kernel_gflops() / qr_only.kernel_gflops(), 1.0, 0.05);
+}
+
+TEST(LeastSquares, StageListIsQrThenQhbThenBs) {
+  auto dev = make_dev<md::dd_real>(device::ExecMode::dry_run);
+  core::least_squares_dry<md::dd_real>(dev, 64, 64, 32);
+  const auto& st = dev.stages();
+  ASSERT_GE(st.size(), 12u);
+  EXPECT_EQ(st[0].name, "beta,v");
+  bool saw_qhb = false, saw_bs_after_qhb = false;
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    if (st[i].name == core::stage::qhb) saw_qhb = true;
+    if (saw_qhb && st[i].name == core::stage::bs_invert)
+      saw_bs_after_qhb = true;
+  }
+  EXPECT_TRUE(saw_qhb);
+  EXPECT_TRUE(saw_bs_after_qhb);
+}

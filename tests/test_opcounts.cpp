@@ -1,0 +1,121 @@
+// The Table 1 cost model: exact operational counts from the paper, the
+// derived averages and overhead factors quoted in the text, and the
+// mechanics of OpTally / ScopedTally.
+#include <gtest/gtest.h>
+
+#include "core/tally_rules.hpp"
+#include "md/mdreal.hpp"
+#include "md/op_counts.hpp"
+
+using namespace mdlsq::md;
+
+TEST(Table1, DoubleDoubleRow) {
+  const CostTable t = cost_table(Precision::d2);
+  EXPECT_EQ(t.add.adds, 8);
+  EXPECT_EQ(t.add.subs, 12);
+  EXPECT_EQ(t.add.total(), 20);
+  EXPECT_EQ(t.mul.adds, 5);
+  EXPECT_EQ(t.mul.subs, 9);
+  EXPECT_EQ(t.mul.muls, 9);
+  EXPECT_EQ(t.mul.total(), 23);
+  EXPECT_EQ(t.div.adds, 33);
+  EXPECT_EQ(t.div.subs, 18);
+  EXPECT_EQ(t.div.muls, 16);
+  EXPECT_EQ(t.div.divs, 3);
+  EXPECT_EQ(t.div.total(), 70);
+  EXPECT_NEAR(t.average(), 37.7, 0.05);
+}
+
+TEST(Table1, QuadDoubleRow) {
+  const CostTable t = cost_table(Precision::d4);
+  EXPECT_EQ(t.add.total(), 89);
+  EXPECT_EQ(t.mul.total(), 336);
+  EXPECT_EQ(t.div.total(), 893);
+  EXPECT_EQ(t.div.adds, 266);
+  EXPECT_EQ(t.div.subs, 510);
+  EXPECT_EQ(t.div.muls, 112);
+  EXPECT_EQ(t.div.divs, 5);
+  EXPECT_NEAR(t.average(), 439.3, 0.05);
+}
+
+TEST(Table1, OctoDoubleRow) {
+  const CostTable t = cost_table(Precision::d8);
+  EXPECT_EQ(t.add.total(), 269);
+  EXPECT_EQ(t.mul.total(), 1742);
+  EXPECT_EQ(t.div.total(), 5126);
+  EXPECT_NEAR(t.average(), 2379.0, 0.05);
+}
+
+TEST(Table1, PredictedOverheadFactors) {
+  // The paper: going 2d -> 4d multiplies times by 11.7, 4d -> 8d by 5.4.
+  const double f24 = cost_table(Precision::d4).average() /
+                     cost_table(Precision::d2).average();
+  const double f48 = cost_table(Precision::d8).average() /
+                     cost_table(Precision::d4).average();
+  EXPECT_NEAR(f24, 11.7, 0.05);
+  EXPECT_NEAR(f48, 5.4, 0.05);
+}
+
+TEST(Table1, DoubleRowIsUnity) {
+  const CostTable t = cost_table(Precision::d1);
+  EXPECT_EQ(t.add.total(), 1);
+  EXPECT_EQ(t.mul.total(), 1);
+  EXPECT_EQ(t.div.total(), 1);
+}
+
+TEST(Precision, NamesAndLimbs) {
+  EXPECT_EQ(limbs_of(Precision::d2), 2);
+  EXPECT_EQ(limbs_of(Precision::d8), 8);
+  EXPECT_STREQ(name_of(Precision::d1), "1d");
+  EXPECT_STREQ(name_of(Precision::d4), "4d");
+}
+
+TEST(OpTally, DpFlopsWeighting) {
+  OpTally t{.add = 10, .sub = 5, .mul = 3, .div = 2, .sqrt = 1};
+  // subs priced as adds, sqrt priced as div.
+  const double want = 15.0 * 89 + 3.0 * 336 + 3.0 * 893;
+  EXPECT_DOUBLE_EQ(t.dp_flops(Precision::d4), want);
+  EXPECT_EQ(t.md_ops(), 21);
+}
+
+TEST(OpTally, Accumulation) {
+  OpTally a{.add = 1, .mul = 2};
+  OpTally b{.add = 3, .div = 1};
+  OpTally c = a + b;
+  EXPECT_EQ(c.add, 4);
+  EXPECT_EQ(c.mul, 2);
+  EXPECT_EQ(c.div, 1);
+}
+
+TEST(OpTally, ScalingViaTallyRules) {
+  using mdlsq::core::operator*;
+  OpTally t = OpTally{.add = 2, .mul = 1} * 7;
+  EXPECT_EQ(t.add, 14);
+  EXPECT_EQ(t.mul, 7);
+}
+
+TEST(ScopedTally, NestingShadowsOuterScope) {
+  OpTally outer, inner;
+  {
+    ScopedTally so(outer);
+    mdreal<2> a(1.0), b(2.0);
+    (void)(a + b);
+    {
+      ScopedTally si(inner);
+      (void)(a * b);
+    }
+    (void)(a - b);
+  }
+  EXPECT_EQ(outer.add, 1);
+  EXPECT_EQ(outer.sub, 1);
+  EXPECT_EQ(outer.mul, 0);  // inner scope captured the multiply
+  EXPECT_EQ(inner.mul, 1);
+  EXPECT_EQ(inner.md_ops(), 1);
+}
+
+TEST(ScopedTally, ThreadLocalIsolation) {
+  // Counting in this thread does not require any global setup; a fresh
+  // tally starts at zero.
+  OpTally t;
+  EXPECT_EQ(t.md_ops(), 0);
+}

@@ -1,0 +1,284 @@
+// Batched multi-device least squares: B independent problems
+// min_x ||b_i - A_i x_i||_2 sharded across a pool of simulated devices
+// and solved concurrently on a host thread pool.
+//
+// Each problem runs the full single-problem pipeline — blocked
+// Householder QR (Algorithm 2), Q^H b, tiled back substitution
+// (Algorithm 1), optionally a fixed number of Newton refinement passes on
+// the host — against its own Device instance, so batched results are
+// bit-identical to sequential solves regardless of pool width, sharding
+// policy or thread count (DESIGN.md §2).  The per-problem Device also
+// gives exact per-problem operation tallies, which the batch report
+// aggregates per pool slot; tally conservation (batch total == sum of
+// per-problem tallies) holds by construction and is pinned by
+// tests/test_batched_lsq.cpp.
+//
+// Two sharding policies:
+//   * round_robin            — problem i goes to pool slot i mod D;
+//   * greedy_by_modeled_time — problems are priced with a dry run of the
+//     identical launch schedule, then assigned longest-first to the slot
+//     with the least accumulated modeled time (LPT scheduling), which
+//     minimizes the modeled makespan up to the usual 4/3 bound.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "core/back_substitution.hpp"
+#include "core/least_squares.hpp"
+#include "device/device_spec.hpp"
+#include "device/launch.hpp"
+#include "util/batch_report.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdlsq::core {
+
+enum class ShardPolicy { round_robin, greedy_by_modeled_time };
+
+inline const char* name_of(ShardPolicy p) noexcept {
+  switch (p) {
+    case ShardPolicy::round_robin: return "round-robin";
+    case ShardPolicy::greedy_by_modeled_time: return "greedy-by-modeled-time";
+  }
+  return "?";
+}
+
+// A pool of simulated devices.  Slots may reference different specs
+// (heterogeneous pools price shards differently under the greedy policy).
+struct DevicePool {
+  std::vector<const device::DeviceSpec*> slots;
+
+  static DevicePool homogeneous(const device::DeviceSpec& spec, int n) {
+    DevicePool p;
+    p.slots.assign(static_cast<std::size_t>(n), &spec);
+    return p;
+  }
+  int size() const noexcept { return static_cast<int>(slots.size()); }
+};
+
+// One problem of the batch.  In dry_run mode the matrices stay empty and
+// only the dimensions drive the launch schedule.
+template <class T>
+struct BatchProblem {
+  blas::Matrix<T> a;
+  blas::Vector<T> b;
+  int rows = 0;  // used when a is empty (dry run)
+  int cols = 0;
+
+  int m() const noexcept { return a.rows() > 0 ? a.rows() : rows; }
+  int c() const noexcept { return a.cols() > 0 ? a.cols() : cols; }
+
+  static BatchProblem functional(blas::Matrix<T> mat, blas::Vector<T> rhs) {
+    BatchProblem p;
+    p.rows = mat.rows();
+    p.cols = mat.cols();
+    p.a = std::move(mat);
+    p.b = std::move(rhs);
+    return p;
+  }
+  static BatchProblem dry(int m, int c) {
+    BatchProblem p;
+    p.rows = m;
+    p.cols = c;
+    return p;
+  }
+};
+
+struct BatchedLsqOptions {
+  int tile = 8;
+  // Newton refinement passes on the host after the device solve
+  // (r = b - A x; x += argmin ||r - A dx||).  Counted into the
+  // per-problem refine tally; 0 keeps results bit-identical to
+  // least_squares().
+  int refine_passes = 0;
+  ShardPolicy policy = ShardPolicy::round_robin;
+  device::ExecMode mode = device::ExecMode::functional;
+  int threads = 0;  // host threads; 0 means one per pool slot
+};
+
+template <class T>
+struct BatchedProblemResult {
+  int problem = -1;
+  int device = -1;            // pool slot the problem was served by
+  blas::Vector<T> x;          // functional mode only
+  md::OpTally analytic;       // declared launch tallies of the device solve
+  md::OpTally measured;       // counted from the functional kernel bodies
+  md::OpTally refine;         // host refinement operations
+  double kernel_ms = 0.0;     // modeled kernel time
+  double wall_ms = 0.0;       // modeled wall time (kernel + transfers)
+};
+
+template <class T>
+struct BatchedLsqResult {
+  std::vector<BatchedProblemResult<T>> problems;  // indexed by problem id
+  std::vector<std::vector<int>> shards;           // pool slot -> problem ids
+  util::BatchReport report;
+};
+
+namespace detail {
+
+// Solves one problem against a fresh Device on the given pool slot.
+template <class T>
+BatchedProblemResult<T> solve_one(const device::DeviceSpec& spec, int slot,
+                                  int idx, const BatchProblem<T>& p,
+                                  const BatchedLsqOptions& opt) {
+  const auto prec = md::Precision(blas::scalar_traits<T>::limbs);
+  device::Device dev(spec, prec, opt.mode);
+
+  BatchedProblemResult<T> r;
+  r.problem = idx;
+  r.device = slot;
+  if (opt.mode == device::ExecMode::functional) {
+    auto out = least_squares(dev, p.a, p.b, opt.tile);
+    r.x = std::move(out.x);
+    if (opt.refine_passes > 0) {
+      // Factor once; every pass reuses Q and R against a new residual.
+      md::ScopedTally scope(r.refine);
+      const QrFactors<T> f = householder_qr(p.a);
+      for (int pass = 0; pass < opt.refine_passes; ++pass) {
+        auto ax = blas::gemv(p.a, std::span<const T>(r.x));
+        blas::Vector<T> res(p.b.size());
+        for (std::size_t i = 0; i < res.size(); ++i) res[i] = p.b[i] - ax[i];
+        auto dx = least_squares_with_factors(f, std::span<const T>(res));
+        for (int j = 0; j < p.c(); ++j) r.x[j] += dx[j];
+      }
+    }
+  } else {
+    least_squares_dry<T>(dev, p.m(), p.c(), opt.tile);
+  }
+  r.analytic = dev.analytic_total();
+  r.measured = dev.measured_total();
+  r.kernel_ms = dev.kernel_ms();
+  r.wall_ms = dev.wall_ms();
+  return r;
+}
+
+// Modeled wall time of one problem, from a dry run of the identical
+// launch schedule (no arithmetic, no matrix storage).
+template <class T>
+double modeled_wall_ms(const device::DeviceSpec& spec, const BatchProblem<T>& p,
+                       const BatchedLsqOptions& opt) {
+  const auto prec = md::Precision(blas::scalar_traits<T>::limbs);
+  device::Device dev(spec, prec, device::ExecMode::dry_run);
+  least_squares_dry<T>(dev, p.m(), p.c(), opt.tile);
+  return dev.wall_ms();
+}
+
+}  // namespace detail
+
+// Computes the pool-slot assignment without running anything; exposed so
+// tests and the bench harness can inspect scheduling decisions directly.
+template <class T>
+std::vector<std::vector<int>> shard_assignment(
+    const DevicePool& pool, const std::vector<BatchProblem<T>>& problems,
+    const BatchedLsqOptions& opt) {
+  const int d = pool.size();
+  assert(d >= 1);
+  std::vector<std::vector<int>> shards(static_cast<std::size_t>(d));
+
+  if (opt.policy == ShardPolicy::round_robin) {
+    for (int i = 0; i < static_cast<int>(problems.size()); ++i)
+      shards[static_cast<std::size_t>(i % d)].push_back(i);
+    return shards;
+  }
+
+  // Greedy LPT on modeled wall time.  Estimates are priced per slot spec
+  // (a heterogeneous pool prices the same problem differently), computed
+  // once per distinct spec — homogeneous pools dry-run each problem only
+  // once.  Ties break on problem id / slot id so the schedule is
+  // deterministic.
+  std::vector<std::vector<double>> est(static_cast<std::size_t>(d));
+  for (int s = 0; s < d; ++s) {
+    for (int prior = 0; prior < s; ++prior)
+      if (pool.slots[prior] == pool.slots[s]) {
+        est[s] = est[prior];
+        break;
+      }
+    if (est[s].empty()) {
+      est[s].resize(problems.size());
+      for (std::size_t i = 0; i < problems.size(); ++i)
+        est[s][i] =
+            detail::modeled_wall_ms<T>(*pool.slots[s], problems[i], opt);
+    }
+  }
+
+  std::vector<int> order(problems.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return est[0][static_cast<std::size_t>(a)] >
+           est[0][static_cast<std::size_t>(b)];
+  });
+
+  std::vector<double> load(static_cast<std::size_t>(d), 0.0);
+  for (int i : order) {
+    int best = 0;
+    for (int s = 1; s < d; ++s)
+      if (load[s] + est[s][static_cast<std::size_t>(i)] <
+          load[best] + est[best][static_cast<std::size_t>(i)])
+        best = s;
+    shards[static_cast<std::size_t>(best)].push_back(i);
+    load[static_cast<std::size_t>(best)] +=
+        est[best][static_cast<std::size_t>(i)];
+  }
+  for (auto& s : shards) std::sort(s.begin(), s.end());
+  return shards;
+}
+
+// The batched driver.  Shards the problems over the pool, solves every
+// shard on the host thread pool (problems of one shard run in order, on
+// one thread, mirroring a device stream), and aggregates the batch
+// report.
+template <class T>
+BatchedLsqResult<T> batched_least_squares(
+    const DevicePool& pool, const std::vector<BatchProblem<T>>& problems,
+    const BatchedLsqOptions& opt = {}) {
+  const int d = pool.size();
+  assert(d >= 1);
+
+  BatchedLsqResult<T> out;
+  out.shards = shard_assignment(pool, problems, opt);
+  out.problems.resize(problems.size());
+
+  {
+    const int width = opt.threads > 0 ? std::min(opt.threads, d) : d;
+    util::ThreadPool workers(width);
+    for (int s = 0; s < d; ++s) {
+      workers.submit([&, s] {
+        for (int i : out.shards[static_cast<std::size_t>(s)])
+          out.problems[static_cast<std::size_t>(i)] = detail::solve_one<T>(
+              *pool.slots[static_cast<std::size_t>(s)], s, i,
+              problems[static_cast<std::size_t>(i)], opt);
+      });
+    }
+    workers.wait();
+  }
+
+  util::BatchReport& rep = out.report;
+  rep.precision = md::Precision(blas::scalar_traits<T>::limbs);
+  rep.policy = name_of(opt.policy);
+  rep.rows.resize(static_cast<std::size_t>(d));
+  for (int s = 0; s < d; ++s) {
+    auto& row = rep.rows[static_cast<std::size_t>(s)];
+    row.device = s;
+    row.name = pool.slots[static_cast<std::size_t>(s)]->name;
+    row.problems = out.shards[static_cast<std::size_t>(s)];
+    for (int i : row.problems) {
+      const auto& pr = out.problems[static_cast<std::size_t>(i)];
+      row.tally += pr.analytic;
+      row.kernel_ms += pr.kernel_ms;
+      row.wall_ms += pr.wall_ms;
+    }
+    rep.tally += row.tally;
+    rep.kernel_ms += row.kernel_ms;
+    rep.makespan_ms = std::max(rep.makespan_ms, row.wall_ms);
+  }
+  return out;
+}
+
+}  // namespace mdlsq::core

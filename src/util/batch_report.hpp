@@ -1,0 +1,69 @@
+// The aggregate report of one batched least-squares run: per-device rows
+// (problems served, multiple-double operations, modeled kernel and wall
+// times) plus batch totals, printed in the paper's table style.
+//
+// The type is scalar-agnostic plain data so the bench harness and the
+// service layers can log it without instantiating the solver templates.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "md/op_counts.hpp"
+#include "util/table.hpp"
+
+namespace mdlsq::util {
+
+struct BatchDeviceRow {
+  int device = -1;             // index within the pool
+  std::string name;            // DeviceSpec name
+  std::vector<int> problems;   // problem ids served, ascending
+  md::OpTally tally;           // summed analytic tallies of the shard
+  double kernel_ms = 0.0;      // summed modeled kernel time
+  double wall_ms = 0.0;        // summed modeled wall time of the shard
+};
+
+struct BatchReport {
+  md::Precision precision = md::Precision::d2;
+  std::string policy;                 // sharding policy name
+  std::vector<BatchDeviceRow> rows;   // one per pool device, in pool order
+  md::OpTally tally;                  // batch aggregate (== sum of rows)
+  double kernel_ms = 0.0;             // summed over devices
+  // Modeled batch makespan: devices run concurrently, so the batch
+  // finishes with its slowest shard.
+  double makespan_ms = 0.0;
+
+  int problem_count() const noexcept {
+    int n = 0;
+    for (const auto& r : rows) n += static_cast<int>(r.problems.size());
+    return n;
+  }
+
+  double dp_gflop() const noexcept { return tally.dp_flops(precision) * 1e-9; }
+
+  void print(std::FILE* out = stdout) const {
+    std::fprintf(out, "batched least squares: %d problems on %zu devices, "
+                      "policy %s, precision %s\n",
+                 problem_count(), rows.size(), policy.c_str(),
+                 md::name_of(precision));
+    Table t({"device", "spec", "problems", "md ops", "dp Gflop",
+             "kernel ms", "wall ms"});
+    for (const auto& r : rows) {
+      std::string ids;
+      for (std::size_t i = 0; i < r.problems.size(); ++i)
+        ids += (i ? "," : "") + std::to_string(r.problems[i]);
+      t.add_row({std::to_string(r.device), r.name,
+                 ids.empty() ? "-" : ids, std::to_string(r.tally.md_ops()),
+                 fmt2(r.tally.dp_flops(precision) * 1e-9), fmt2(r.kernel_ms),
+                 fmt2(r.wall_ms)});
+    }
+    t.add_row({"all", "-", std::to_string(problem_count()),
+               std::to_string(tally.md_ops()), fmt2(dp_gflop()),
+               fmt2(kernel_ms), fmt2(makespan_ms)});
+    t.print(out);
+  }
+};
+
+}  // namespace mdlsq::util

@@ -1,0 +1,85 @@
+// A minimal fixed-size host thread pool for the batched drivers: submit
+// void() jobs, then wait() for the queue to drain.  Jobs must not throw.
+//
+// The batched least-squares driver submits one job per device shard, so
+// the pool's width bounds how many simulated devices make progress
+// concurrently on the host — results are bitwise independent of the
+// width because shards never share mutable state (DESIGN.md §2).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdlsq::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    if (workers < 1) workers = 1;
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  int size() const noexcept { return static_cast<int>(threads_.size()); }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(std::move(job));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until every submitted job has finished running.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stopping_ and drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      job();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // work available / stopping
+  std::condition_variable idle_cv_;  // all submitted work done
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> threads_;
+  int pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mdlsq::util

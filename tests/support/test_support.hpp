@@ -1,0 +1,116 @@
+// Shared helpers of the GoogleTest suite, extracted from the per-file
+// anonymous namespaces they used to be copy-pasted into.
+//
+//   * multiple-double comparators with ulp-scaled tolerances (mag, tol,
+//     qr_tol) and the renormalization-invariant matcher;
+//   * device construction against the default test GPU (the V100 of the
+//     paper's Table 2) at the precision of any scalar type;
+//   * random-problem builders on top of blas/generate.hpp;
+//   * tally assertions: per-stage measured == analytic exactness and a
+//     fixture that runs a test body under a thread-local ScopedTally.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "blas/gemm.hpp"
+#include "blas/generate.hpp"
+#include "blas/norms.hpp"
+#include "blas/vector_ops.hpp"
+#include "device/device_spec.hpp"
+#include "device/launch.hpp"
+#include "md/op_counts.hpp"
+
+namespace mdlsq::test_support {
+
+// --- multiple-double comparators -----------------------------------------
+
+// |x| as plain double, for tolerance arithmetic.
+template <class T>
+double mag(const T& x) {
+  return std::fabs(x.to_double());
+}
+
+// Relative-ish error bound scale: ulps * eps * max(|a|, |b|, 1).
+template <class T>
+double tol(const T& a, const T& b, double ulps = 8.0) {
+  return ulps * T::eps() * std::max({mag(a), mag(b), 1.0});
+}
+
+// Factorization tolerance at dimension n: ulps * n * eps of the scalar's
+// real type (works for both real and complex multiple doubles).
+template <class T>
+double qr_tol(int n, double ulps = 64.0) {
+  return ulps * n * blas::real_of_t<T>::eps();
+}
+
+// Every limb is at most half an ulp of its predecessor, and a zero limb
+// ends the number.
+template <class T>
+void expect_renormalized(const T& x) {
+  for (int i = 0; i + 1 < T::limbs; ++i) {
+    if (x.limb(i) == 0.0) {
+      EXPECT_EQ(x.limb(i + 1), 0.0);
+    } else {
+      EXPECT_LE(std::fabs(x.limb(i + 1)),
+                std::ldexp(std::fabs(x.limb(i)), -52));
+    }
+  }
+}
+
+// --- devices ---------------------------------------------------------------
+
+// The default test device: V100, at the precision of the scalar type T.
+template <class T>
+device::Device make_dev(device::ExecMode mode,
+                        const device::DeviceSpec& spec = device::volta_v100()) {
+  return device::Device(spec, md::Precision(blas::scalar_traits<T>::limbs),
+                        mode);
+}
+
+// --- random problem builders ----------------------------------------------
+
+// Well-conditioned random lower triangular matrix (transpose of the
+// generator's pivoted-LU upper factor).
+template <class T, class Urbg>
+blas::Matrix<T> random_lower(int n, Urbg& gen) {
+  return blas::random_upper_triangular<T>(n, gen).transposed();
+}
+
+// --- residuals -------------------------------------------------------------
+
+// ||A^H (b - A x)||_inf, which must vanish at the least-squares solution.
+template <class T>
+double optimality(const blas::Matrix<T>& a, const blas::Vector<T>& x,
+                  const blas::Vector<T>& b) {
+  auto ax = blas::gemv(a, std::span<const T>(x));
+  blas::Vector<T> r(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ax[i];
+  auto g = blas::gemv_adjoint(a, std::span<const T>(r));
+  return blas::norm_inf(std::span<const T>(g)).to_double();
+}
+
+// --- tally assertions -------------------------------------------------------
+
+// Every stage of a functional device run must have measured exactly the
+// operations its launch sites declared.
+inline void expect_stage_tallies_exact(const device::Device& dev) {
+  for (const auto& s : dev.stages())
+    EXPECT_TRUE(s.measured == s.analytic) << "tally mismatch in " << s.name;
+}
+
+// Fixture running each test body under a thread-local ScopedTally, so the
+// body can assert on the exact multiple-double operation counts it
+// executed via tally().
+class ScopedTallyTest : public ::testing::Test {
+ protected:
+  const md::OpTally& tally() const noexcept { return tally_; }
+
+ private:
+  md::OpTally tally_;
+  md::ScopedTally scope_{tally_};
+};
+
+}  // namespace mdlsq::test_support

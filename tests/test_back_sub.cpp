@@ -12,16 +12,12 @@
 #include "blas/norms.hpp"
 #include "core/back_substitution.hpp"
 #include "core/tiled_back_sub.hpp"
+#include "support/test_support.hpp"
 
 using namespace mdlsq;
+using test_support::make_dev;
 
 namespace {
-template <class T>
-device::Device make_dev(device::ExecMode mode) {
-  return device::Device(device::volta_v100(),
-                        md::Precision(blas::scalar_traits<T>::limbs), mode);
-}
-
 template <class T>
 void check_bs(int nt, int n) {
   const int dim = nt * n;

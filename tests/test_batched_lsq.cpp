@@ -1,0 +1,309 @@
+// Batched multi-device least squares: bit-identical agreement with
+// sequential single-problem solves, determinism across pool widths and
+// sharding policies, tally conservation, the 8-problems-on-4-devices
+// sharding contract, greedy load balancing, dry-run batches, and the
+// host thread pool underneath it all.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "blas/generate.hpp"
+#include "core/batched_lsq.hpp"
+#include "support/test_support.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace mdlsq;
+using core::BatchedLsqOptions;
+using core::BatchProblem;
+using core::DevicePool;
+using core::ShardPolicy;
+using test_support::make_dev;
+using test_support::optimality;
+
+namespace {
+
+// A deterministic batch of `n` problems with varied shapes.  Tiles must
+// divide the column counts (least_squares contract).
+template <class T>
+std::vector<BatchProblem<T>> make_batch(int n, unsigned seed) {
+  const int shapes[][3] = {  // {rows, cols, tile}
+      {16, 16, 8}, {24, 16, 4}, {32, 32, 8}, {16, 8, 4},
+      {40, 24, 8}, {24, 24, 4}, {48, 32, 16}, {20, 12, 4},
+  };
+  std::mt19937_64 gen(seed);
+  std::vector<BatchProblem<T>> batch;
+  for (int i = 0; i < n; ++i) {
+    const auto& s = shapes[i % 8];
+    batch.push_back(BatchProblem<T>::functional(
+        blas::random_matrix<T>(s[0], s[1], gen),
+        blas::random_vector<T>(s[0], gen)));
+  }
+  return batch;
+}
+
+// All problems in make_batch use tiles dividing their column counts; the
+// batched driver takes ONE tile, so use a common divisor.
+constexpr int kTile = 4;
+
+template <class T>
+bool bitwise_equal(const blas::Vector<T>& a, const blas::Vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (int l = 0; l < blas::scalar_traits<T>::limbs; ++l) {
+      if constexpr (blas::is_complex_v<T>) {
+        if (a[i].re.limb(l) != b[i].re.limb(l) ||
+            a[i].im.limb(l) != b[i].im.limb(l))
+          return false;
+      } else {
+        if (a[i].limb(l) != b[i].limb(l)) return false;
+      }
+    }
+  return true;
+}
+
+// The sequential baseline: each problem solved alone on a fresh device.
+template <class T>
+std::vector<core::BatchedProblemResult<T>> sequential_solves(
+    const std::vector<BatchProblem<T>>& batch) {
+  std::vector<core::BatchedProblemResult<T>> out;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto dev = make_dev<T>(device::ExecMode::functional);
+    core::BatchedProblemResult<T> r;
+    r.problem = static_cast<int>(i);
+    auto res = core::least_squares(dev, batch[i].a, batch[i].b, kTile);
+    r.x = std::move(res.x);
+    r.analytic = dev.analytic_total();
+    r.measured = dev.measured_total();
+    r.kernel_ms = dev.kernel_ms();
+    r.wall_ms = dev.wall_ms();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(BatchedLsq, BitIdenticalToSequentialAcrossPoolWidthsAndPolicies) {
+  using T = md::dd_real;
+  auto batch = make_batch<T>(6, 2024);
+  auto seq = sequential_solves<T>(batch);
+
+  for (int width : {1, 2, 3, 4}) {
+    for (auto policy :
+         {ShardPolicy::round_robin, ShardPolicy::greedy_by_modeled_time}) {
+      BatchedLsqOptions opt;
+      opt.tile = kTile;
+      opt.policy = policy;
+      auto pool = DevicePool::homogeneous(device::volta_v100(), width);
+      auto res = core::batched_least_squares<T>(pool, batch, opt);
+      ASSERT_EQ(res.problems.size(), batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_TRUE(bitwise_equal(res.problems[i].x, seq[i].x))
+            << "width " << width << " policy " << core::name_of(policy)
+            << " problem " << i;
+        EXPECT_TRUE(res.problems[i].analytic == seq[i].analytic);
+        EXPECT_TRUE(res.problems[i].measured == seq[i].measured);
+        EXPECT_DOUBLE_EQ(res.problems[i].kernel_ms, seq[i].kernel_ms);
+      }
+    }
+  }
+}
+
+TEST(BatchedLsq, TallyConservation) {
+  using T = md::qd_real;
+  auto batch = make_batch<T>(5, 7);
+  BatchedLsqOptions opt;
+  opt.tile = kTile;
+  auto pool = DevicePool::homogeneous(device::volta_v100(), 3);
+  auto res = core::batched_least_squares<T>(pool, batch, opt);
+
+  md::OpTally sum_analytic, sum_measured;
+  for (const auto& p : res.problems) {
+    sum_analytic += p.analytic;
+    sum_measured += p.measured;
+    EXPECT_TRUE(p.measured == p.analytic)
+        << "per-problem measured/analytic mismatch, problem " << p.problem;
+  }
+  EXPECT_TRUE(res.report.tally == sum_analytic);
+  EXPECT_TRUE(res.report.tally == sum_measured);
+
+  md::OpTally sum_rows;
+  double sum_kernel = 0;
+  for (const auto& row : res.report.rows) {
+    sum_rows += row.tally;
+    sum_kernel += row.kernel_ms;
+  }
+  EXPECT_TRUE(res.report.tally == sum_rows);
+  EXPECT_DOUBLE_EQ(res.report.kernel_ms, sum_kernel);
+}
+
+// The acceptance demo: 8 problems over 4 simulated devices.
+TEST(BatchedLsq, EightProblemsOverFourDevicesShardAndConserve) {
+  using T = md::dd_real;
+  auto batch = make_batch<T>(8, 42);
+  auto seq = sequential_solves<T>(batch);
+
+  BatchedLsqOptions opt;
+  opt.tile = kTile;
+  opt.policy = ShardPolicy::round_robin;
+  auto pool = DevicePool::homogeneous(device::volta_v100(), 4);
+  auto res = core::batched_least_squares<T>(pool, batch, opt);
+
+  // Every device serves exactly its round-robin residue class.
+  ASSERT_EQ(res.shards.size(), 4u);
+  for (int s = 0; s < 4; ++s)
+    EXPECT_EQ(res.shards[s], (std::vector<int>{s, s + 4}));
+
+  // The report names an assignment covering each problem exactly once.
+  std::set<int> served;
+  for (const auto& row : res.report.rows) {
+    EXPECT_EQ(row.device >= 0 && row.device < 4, true);
+    EXPECT_EQ(row.name, device::volta_v100().name);
+    for (int i : row.problems) EXPECT_TRUE(served.insert(i).second);
+  }
+  EXPECT_EQ(served.size(), 8u);
+  EXPECT_EQ(res.report.problem_count(), 8);
+
+  // Aggregated tally equals the sum of the sequential runs.
+  md::OpTally seq_sum;
+  double seq_kernel = 0;
+  for (const auto& p : seq) {
+    seq_sum += p.analytic;
+    seq_kernel += p.kernel_ms;
+  }
+  EXPECT_TRUE(res.report.tally == seq_sum);
+  EXPECT_DOUBLE_EQ(res.report.kernel_ms, seq_kernel);
+
+  // Devices run concurrently: the makespan is the slowest shard, which is
+  // bounded by the total sequential time.
+  double max_row = 0;
+  for (const auto& row : res.report.rows)
+    max_row = std::max(max_row, row.wall_ms);
+  EXPECT_DOUBLE_EQ(res.report.makespan_ms, max_row);
+  double seq_wall = 0;
+  for (const auto& p : seq) seq_wall += p.wall_ms;
+  EXPECT_LT(res.report.makespan_ms, seq_wall);
+}
+
+TEST(BatchedLsq, GreedyPolicyBeatsRoundRobinOnSkewedBatch) {
+  using T = md::dd_real;
+  // One big problem followed by small ones: round-robin pairs the big one
+  // with a small one, greedy LPT isolates it.
+  std::mt19937_64 gen(5);
+  std::vector<BatchProblem<T>> batch;
+  batch.push_back(BatchProblem<T>::functional(
+      blas::random_matrix<T>(48, 48, gen), blas::random_vector<T>(48, gen)));
+  for (int i = 0; i < 3; ++i)
+    batch.push_back(BatchProblem<T>::functional(
+        blas::random_matrix<T>(8, 8, gen), blas::random_vector<T>(8, gen)));
+
+  auto pool = DevicePool::homogeneous(device::volta_v100(), 2);
+  BatchedLsqOptions opt;
+  opt.tile = kTile;
+  opt.policy = ShardPolicy::round_robin;
+  auto rr = core::batched_least_squares<T>(pool, batch, opt);
+  opt.policy = ShardPolicy::greedy_by_modeled_time;
+  auto greedy = core::batched_least_squares<T>(pool, batch, opt);
+
+  // Greedy puts the big problem alone on one device.
+  bool isolated = false;
+  for (const auto& shard : greedy.shards)
+    if (shard == std::vector<int>{0}) isolated = true;
+  EXPECT_TRUE(isolated);
+  EXPECT_LT(greedy.report.makespan_ms, rr.report.makespan_ms);
+  // Same work either way.
+  EXPECT_TRUE(greedy.report.tally == rr.report.tally);
+}
+
+TEST(BatchedLsq, DryRunBatchPricesIdenticalSchedule) {
+  using T = md::qd_real;
+  auto fbatch = make_batch<T>(4, 99);
+  std::vector<BatchProblem<T>> dbatch;
+  for (const auto& p : fbatch)
+    dbatch.push_back(BatchProblem<T>::dry(p.a.rows(), p.a.cols()));
+
+  BatchedLsqOptions fopt;
+  fopt.tile = kTile;
+  auto pool = DevicePool::homogeneous(device::volta_v100(), 2);
+  auto fres = core::batched_least_squares<T>(pool, fbatch, fopt);
+
+  BatchedLsqOptions dopt;
+  dopt.tile = kTile;
+  dopt.mode = device::ExecMode::dry_run;
+  auto dres = core::batched_least_squares<T>(pool, dbatch, dopt);
+
+  EXPECT_TRUE(dres.report.tally == fres.report.tally);
+  EXPECT_DOUBLE_EQ(dres.report.kernel_ms, fres.report.kernel_ms);
+  EXPECT_DOUBLE_EQ(dres.report.makespan_ms, fres.report.makespan_ms);
+  for (const auto& p : dres.problems) {
+    EXPECT_TRUE(p.x.empty());
+    EXPECT_EQ(p.measured.md_ops(), 0);
+  }
+}
+
+TEST(BatchedLsq, RefinementPassesPolishAndAreTallied) {
+  using T = md::dd_real;
+  std::mt19937_64 gen(17);
+  auto a = blas::random_matrix<T>(24, 16, gen);
+  auto b = blas::random_vector<T>(24, gen);
+  std::vector<BatchProblem<T>> batch;
+  batch.push_back(BatchProblem<T>::functional(a, b));
+
+  BatchedLsqOptions opt;
+  opt.tile = kTile;
+  opt.refine_passes = 2;
+  auto pool = DevicePool::homogeneous(device::volta_v100(), 1);
+  auto res = core::batched_least_squares<T>(pool, batch, opt);
+
+  const auto& p = res.problems[0];
+  EXPECT_GT(p.refine.md_ops(), 0);
+  EXPECT_LE(optimality(a, p.x, b), 1e4 * 24 * T::eps());
+  // Device tallies are untouched by host refinement.
+  EXPECT_TRUE(p.measured == p.analytic);
+}
+
+TEST(BatchedLsq, HeterogeneousPoolReportsPerSpecNames) {
+  using T = md::dd_real;
+  auto batch = make_batch<T>(4, 3);
+  DevicePool pool;
+  pool.slots = {&device::volta_v100(), &device::pascal_p100()};
+  BatchedLsqOptions opt;
+  opt.tile = kTile;
+  auto res = core::batched_least_squares<T>(pool, batch, opt);
+  ASSERT_EQ(res.report.rows.size(), 2u);
+  EXPECT_EQ(res.report.rows[0].name, device::volta_v100().name);
+  EXPECT_EQ(res.report.rows[1].name, device::pascal_p100().name);
+  EXPECT_EQ(res.report.problem_count(), 4);
+}
+
+TEST(BatchedLsq, ReportPrintsOneRowPerDevicePlusTotal) {
+  using T = md::dd_real;
+  auto batch = make_batch<T>(4, 11);
+  BatchedLsqOptions opt;
+  opt.tile = kTile;
+  auto pool = DevicePool::homogeneous(device::volta_v100(), 2);
+  auto res = core::batched_least_squares<T>(pool, batch, opt);
+
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  res.report.print(sink);
+  std::fseek(sink, 0, SEEK_END);
+  const long written = std::ftell(sink);
+  std::fclose(sink);
+  EXPECT_GT(written, 0);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJobThenIdles) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<int> hits(64, 0);
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&hits, i] { hits[i] = i + 1; });
+  pool.wait();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(hits[i], i + 1);
+  // The pool is reusable after draining.
+  pool.submit([&hits] { hits[0] = -1; });
+  pool.wait();
+  EXPECT_EQ(hits[0], -1);
+}

@@ -11,21 +11,14 @@
 #include "blas/norms.hpp"
 #include "core/blocked_qr.hpp"
 #include "core/householder.hpp"
+#include "support/test_support.hpp"
 
 using namespace mdlsq;
+using test_support::expect_stage_tallies_exact;
+using test_support::make_dev;
+using test_support::qr_tol;
 
 namespace {
-template <class T>
-device::Device make_dev(device::ExecMode mode) {
-  return device::Device(device::volta_v100(),
-                        md::Precision(blas::scalar_traits<T>::limbs), mode);
-}
-
-template <class T>
-double qr_tol(int n, double ulps = 64.0) {
-  return ulps * n * blas::real_of_t<T>::eps();
-}
-
 template <class T>
 void check_qr(int m, int c, int tile) {
   std::mt19937_64 gen(81 + m + c + tile);
@@ -46,8 +39,7 @@ void check_qr(int m, int c, int tile) {
   EXPECT_LE(blas::max_abs_diff(ref.r, f.r).to_double(), qr_tol<T>(m, 256.0));
 
   // The measured tally of every stage matches its analytic declaration.
-  for (const auto& s : dev.stages())
-    EXPECT_TRUE(s.measured == s.analytic) << "tally mismatch in " << s.name;
+  expect_stage_tallies_exact(dev);
 
   // Dry-run walks the identical schedule.
   auto dry = make_dev<T>(device::ExecMode::dry_run);

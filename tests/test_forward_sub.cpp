@@ -10,21 +10,13 @@
 #include "core/back_substitution.hpp"
 #include "core/forward_substitution.hpp"
 #include "core/tiled_back_sub.hpp"
+#include "support/test_support.hpp"
 
 using namespace mdlsq;
+using test_support::make_dev;
+using test_support::random_lower;
 
 namespace {
-template <class T, class Urbg>
-blas::Matrix<T> random_lower(int n, Urbg& gen) {
-  return blas::random_upper_triangular<T>(n, gen).transposed();
-}
-
-template <class T>
-device::Device make_dev(device::ExecMode mode) {
-  return device::Device(device::volta_v100(),
-                        md::Precision(blas::scalar_traits<T>::limbs), mode);
-}
-
 template <class T>
 void check_fs(int nt, int n) {
   const int dim = nt * n;

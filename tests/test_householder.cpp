@@ -9,8 +9,10 @@
 #include "blas/generate.hpp"
 #include "blas/norms.hpp"
 #include "core/householder.hpp"
+#include "support/test_support.hpp"
 
 using namespace mdlsq;
+using test_support::qr_tol;
 
 template <class T>
 class HouseholderTest : public ::testing::Test {};
@@ -18,13 +20,6 @@ class HouseholderTest : public ::testing::Test {};
 using Scalars = ::testing::Types<md::dd_real, md::qd_real, md::od_real,
                                  md::dd_complex, md::qd_complex>;
 TYPED_TEST_SUITE(HouseholderTest, Scalars);
-
-namespace {
-template <class T>
-double qr_tol(int n, double ulps = 64.0) {
-  return ulps * n * blas::real_of_t<T>::eps();
-}
-}  // namespace
 
 TYPED_TEST(HouseholderTest, ReflectorAnnihilatesTail) {
   using T = TypeParam;

@@ -10,27 +10,14 @@
 #include "blas/norms.hpp"
 #include "core/back_substitution.hpp"
 #include "core/least_squares.hpp"
+#include "support/test_support.hpp"
 
 using namespace mdlsq;
+using test_support::expect_stage_tallies_exact;
+using test_support::make_dev;
+using test_support::optimality;
 
 namespace {
-template <class T>
-device::Device make_dev(device::ExecMode mode) {
-  return device::Device(device::volta_v100(),
-                        md::Precision(blas::scalar_traits<T>::limbs), mode);
-}
-
-// A^H (b - A x) must vanish at the least-squares solution.
-template <class T>
-double optimality(const blas::Matrix<T>& a, const blas::Vector<T>& x,
-                  const blas::Vector<T>& b) {
-  auto ax = blas::gemv(a, std::span<const T>(x));
-  blas::Vector<T> r(b.size());
-  for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ax[i];
-  auto g = blas::gemv_adjoint(a, std::span<const T>(r));
-  return blas::norm_inf(std::span<const T>(g)).to_double();
-}
-
 template <class T>
 void check_lsq(int m, int c, int tile) {
   std::mt19937_64 gen(101 + m + c);
@@ -49,8 +36,7 @@ void check_lsq(int m, int c, int tile) {
     EXPECT_LE(blas::abs_of(res.x[i] - xh[i]).to_double(), tol);
 
   // Tally exactness end to end.
-  for (const auto& s : dev.stages())
-    EXPECT_TRUE(s.measured == s.analytic) << "tally mismatch in " << s.name;
+  expect_stage_tallies_exact(dev);
 
   // Dry run prices the identical pipeline.
   auto dry = make_dev<T>(device::ExecMode::dry_run);

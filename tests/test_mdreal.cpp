@@ -11,8 +11,12 @@
 #include "md/expansion.hpp"
 #include "md/mdreal.hpp"
 #include "md/random.hpp"
+#include "support/test_support.hpp"
 
 using mdlsq::md::mdreal;
+using mdlsq::test_support::expect_renormalized;
+using mdlsq::test_support::mag;
+using mdlsq::test_support::tol;
 
 template <class T>
 class MdRealTest : public ::testing::Test {};
@@ -20,34 +24,6 @@ class MdRealTest : public ::testing::Test {};
 using Sizes = ::testing::Types<mdreal<2>, mdreal<3>, mdreal<4>, mdreal<5>,
                                mdreal<8>>;
 TYPED_TEST_SUITE(MdRealTest, Sizes);
-
-namespace {
-
-// |x| as plain double, for tolerance arithmetic.
-template <class T>
-double mag(const T& x) {
-  return std::fabs(x.to_double());
-}
-
-// Relative-ish error bound scale: eps * max(|a|, |b|, 1).
-template <class T>
-double tol(const T& a, const T& b, double ulps = 8.0) {
-  return ulps * T::eps() * std::max({mag(a), mag(b), 1.0});
-}
-
-template <class T>
-void expect_renormalized(const T& x) {
-  for (int i = 0; i + 1 < T::limbs; ++i) {
-    if (x.limb(i) == 0.0) {
-      EXPECT_EQ(x.limb(i + 1), 0.0);
-    } else {
-      EXPECT_LE(std::fabs(x.limb(i + 1)),
-                std::ldexp(std::fabs(x.limb(i)), -52));
-    }
-  }
-}
-
-}  // namespace
 
 TYPED_TEST(MdRealTest, EpsMatchesLimbCount) {
   // eps = 2^(2-53N)

@@ -5,10 +5,19 @@
 // buys ~30 more correct digits at an observed cost factor BELOW the
 // operation-count prediction (11.7x for 2d->4d, 5.4x for 4d->8d), because
 // higher precision runs at higher efficiency on the device.
+//
+// Part two hands the same trade-off to core::adaptive_least_squares: ask
+// for a tolerance and the precision ladder picks the cheapest limb count
+// that meets it, escalating (by refinement where the factors allow it)
+// only when the acceptance test fails — nobody picks a precision by hand.
 #include <cstdio>
 
+#include <string>
+
+#include "blas/generate.hpp"
 #include "blas/matrix.hpp"
 #include "blas/norms.hpp"
+#include "core/adaptive_lsq.hpp"
 #include "core/least_squares.hpp"
 
 using namespace mdlsq;
@@ -25,12 +34,8 @@ struct Outcome {
 
 template <class T>
 Outcome<T> run() {
-  // Hilbert-like system with a known exact solution of ones:
-  // A_ij = 1/(i+j+1), b = A * ones.
-  blas::Matrix<T> a(kRows, kCols);
-  for (int i = 0; i < kRows; ++i)
-    for (int j = 0; j < kCols; ++j)
-      a(i, j) = T(1.0) / T(double(i + j + 1));
+  // Hilbert-like system with a known exact solution of ones: b = A * ones.
+  auto a = blas::hilbert_like<T>(kRows, kCols);
   blas::Vector<T> ones(kCols, T(1.0));
   auto b = blas::gemv(a, std::span<const T>(ones));
 
@@ -76,9 +81,47 @@ int main() {
       "1024 the same ratios come out near 6x and 4x (bench_table04).\n");
 
   // sanity: each precision jump must win at least 15 digits here.
-  const bool ok = o2.forward_err < o1.forward_err * 1e-10 &&
-                  o4.forward_err < o2.forward_err * 1e-10 &&
-                  o8.forward_err < o4.forward_err * 1e-10;
+  bool ok = o2.forward_err < o1.forward_err * 1e-10 &&
+            o4.forward_err < o2.forward_err * 1e-10 &&
+            o8.forward_err < o4.forward_err * 1e-10;
   if (!ok) std::printf("UNEXPECTED: precision ladder broken\n");
+
+  // --- part two: the adaptive ladder picks the precision automatically --
+  std::printf(
+      "\nautomatic choice (core::adaptive_lsq, same %dx%d problem):\n"
+      "%10s %8s %26s %12s %12s\n",
+      kRows, kCols, "tolerance", "chosen", "ladder", "adaptive ms",
+      "always-8d ms");
+  auto a8 = blas::hilbert_like<md::od_real>(kRows, kCols);
+  blas::Vector<md::od_real> ones8(kCols, md::od_real(1.0));
+  auto b8 = blas::gemv(a8, std::span<const md::od_real>(ones8));
+  device::Device d8dry(device::volta_v100(), md::Precision::d8,
+                       device::ExecMode::dry_run);
+  core::least_squares_dry<md::od_real>(d8dry, kRows, kCols, kTile);
+
+  int prev_limbs = 0;
+  for (double tol : {1e-8, 1e-25, 1e-45}) {
+    core::AdaptiveOptions opt;
+    opt.tol = tol;
+    opt.tile = kTile;
+    auto res =
+        core::adaptive_least_squares<8>(device::volta_v100(), a8, b8, opt);
+    std::string path;
+    for (const auto& r : res.rungs) {
+      if (!path.empty()) path += " -> ";
+      path += md::name_of(r.precision);
+      path += r.refactorized ? "(factor)" : "(refine)";
+    }
+    std::printf("%10.0e %8s %26s %12.3f %12.3f\n", tol,
+                md::name_of(res.final_precision), path.c_str(),
+                res.kernel_ms(), d8dry.kernel_ms());
+    // Tighter tolerances may only move the choice upward, every choice
+    // must meet its tolerance, and every ladder must undercut always-8d.
+    ok = ok && res.converged &&
+         md::limbs_of(res.final_precision) >= prev_limbs &&
+         res.kernel_ms() < d8dry.kernel_ms();
+    prev_limbs = md::limbs_of(res.final_precision);
+  }
+  if (!ok) std::printf("UNEXPECTED: adaptive choice broken\n");
   return ok ? 0 : 1;
 }

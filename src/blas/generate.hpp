@@ -38,6 +38,18 @@ Vector<T> random_vector(int n, Urbg& gen) {
   return v;
 }
 
+// The ill-conditioned Hilbert-like family of examples/precision_sweep:
+// A_ij = 1/(i+j+1), condition number growing exponentially with the
+// column count — the workload that makes the precision ladder climb.
+template <class T>
+Matrix<T> hilbert_like(int rows, int cols) {
+  Matrix<T> a(rows, cols);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      a(i, j) = T(1.0) / T(double(i + j + 1));
+  return a;
+}
+
 // Well-conditioned random upper triangular matrix (paper §4.1): the U
 // factor of PA = LU for random dense A.  Retries in the (measure-zero)
 // singular case.

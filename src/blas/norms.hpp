@@ -40,6 +40,22 @@ real_of_t<T> max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
   return m;
 }
 
+// ||A||_inf: max absolute row sum, at working precision.  The backward-
+// error oracles of the conformance harness scale residuals with it (the
+// adaptive solver's acceptance test uses its own plain-double norms —
+// src/core/adaptive_lsq.hpp detail — since estimates need no multiple-
+// double arithmetic).
+template <class T>
+real_of_t<T> norm_inf_mat(const Matrix<T>& a) {
+  real_of_t<T> m{};
+  for (int i = 0; i < a.rows(); ++i) {
+    real_of_t<T> s{};
+    for (int j = 0; j < a.cols(); ++j) s += abs_of(a(i, j));
+    if (m < s) m = s;
+  }
+  return m;
+}
+
 // ||Q^H Q - I||_max: how far Q is from having orthonormal columns.
 template <class T>
 real_of_t<T> orthogonality_defect(const Matrix<T>& q) {

@@ -1,0 +1,476 @@
+// Adaptive precision-ladder least squares.
+//
+// The paper's Table 1 makes precision a priced commodity: every doubling
+// of the limb count buys ~30 digits at a known operation-count overhead.
+// This driver spends that budget automatically: it solves
+// min_x ||b - A x||_2 to a user-requested (estimated forward-error)
+// tolerance by climbing the d2 -> d4 -> d8 ladder, escalating only when
+// an acceptance test fails.
+//
+// Per rung at precision p (DESIGN.md section 4):
+//   1. Factors.  If no QR factors exist yet, the previous rung's factors
+//      stagnated, or the refinement contraction rate
+//      cond_estimate * eps(factor precision) exceeds a threshold, the rung
+//      REFACTORIZES: the device pipeline (blocked QR + Q^H b + tiled back
+//      substitution) runs at precision p and a triangular condition
+//      estimate (blas/condition.hpp) is launched against the fresh R
+//      factor.  Otherwise the rung REFINES: the existing lower-precision
+//      factors are reused and escalation costs refinement iterations, not
+//      a refactorization.
+//   2. Polish.  Iterative refinement with residuals at the rung precision
+//      p and correction solves on the factors (device-priced launches,
+//      refinement.hpp): eta = ||A^H (b - A x)||_inf / scale is driven down
+//      until the acceptance test passes, the rung's measurement floor
+//      (~eps(p)) is reached (escalate; factors still healthy), or eta
+//      stops contracting (factors exhausted; next rung refactorizes).
+//   3. Acceptance.  forward_estimate = cond_estimate * eta <= tol accepts
+//      the rung and ends the ladder.
+//
+// Every rung runs against its own Device (at the factor precision, which
+// is the precision of the launches it issues), so modeled times and exact
+// per-rung tallies fall out of the standard machinery, and
+// batched_lsq.hpp can serve adaptive problems with per-problem isolation.
+// adaptive_least_squares_dry prices the expected schedule (factorization
+// at the starting rung, a fixed number of refinement sweeps per later
+// rung) for the sharding policies' timing model.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "blas/condition.hpp"
+#include "blas/gemm.hpp"
+#include "blas/norms.hpp"
+#include "core/least_squares.hpp"
+#include "core/refinement.hpp"
+#include "device/device_spec.hpp"
+#include "device/launch.hpp"
+#include "util/batch_report.hpp"
+
+namespace mdlsq::core {
+
+namespace stage {
+inline constexpr const char* cond_est = "cond est";
+}
+
+struct AdaptiveOptions {
+  double tol = 1e-25;   // requested tolerance on the estimated forward error
+  int tile = 8;         // tile size of the device pipeline (divides cols)
+  int start_limbs = 2;  // first rung of the ladder
+  int max_limbs = 0;    // last rung; 0 means the input type's limb count
+  int max_refine_iters = 12;  // refinement budget per rung
+  // Refine instead of refactorizing while cond * eps(factors) stays below
+  // this contraction rate (each sweep then gains >= 2 digits).
+  double refine_rate_threshold = 1e-2;
+  // A rung's backward-error measurement floor is floor_ulps * m * eps(p);
+  // reaching it exhausts the rung without condemning the factors.
+  double floor_ulps = 64.0;
+  // Refinement sweeps per post-start rung assumed by the dry-run pricing.
+  int dry_refine_iters = 2;
+};
+
+template <int NH>
+struct AdaptiveLsqResult {
+  blas::Vector<md::mdreal<NH>> x;
+  std::vector<util::RungStats> rungs;  // in ladder order
+  bool converged = false;              // some rung accepted
+  md::Precision final_precision = md::Precision::d2;  // last rung reached
+
+  double kernel_ms() const noexcept {
+    double t = 0;
+    for (const auto& r : rungs) t += r.kernel_ms;
+    return t;
+  }
+  double wall_ms() const noexcept {
+    double t = 0;
+    for (const auto& r : rungs) t += r.wall_ms;
+    return t;
+  }
+  double dp_gflop() const noexcept {
+    double f = 0;
+    for (const auto& r : rungs) f += r.dp_gflop();
+    return f;
+  }
+  md::OpTally device_analytic() const noexcept {
+    md::OpTally t;
+    for (const auto& r : rungs) t += r.analytic;
+    return t;
+  }
+  md::OpTally device_measured() const noexcept {
+    md::OpTally t;
+    for (const auto& r : rungs) t += r.measured;
+    return t;
+  }
+  md::OpTally host_ops() const noexcept {
+    md::OpTally t;
+    for (const auto& r : rungs) t += r.host_ops;
+    return t;
+  }
+};
+
+namespace detail {
+
+inline double eps_of_limbs(int limbs) noexcept {
+  double e = 4.0;
+  for (int i = 0; i < 53 * limbs; ++i) e *= 0.5;
+  return e;
+}
+
+// Dispatch a callable templated on mdreal<L> over a runtime limb count.
+template <class F>
+void with_limbs(int limbs, F&& f) {
+  switch (limbs) {
+    case 1: f(md::mdreal<1>{}); break;
+    case 2: f(md::mdreal<2>{}); break;
+    case 4: f(md::mdreal<4>{}); break;
+    case 8: f(md::mdreal<8>{}); break;
+    default: assert(!"unsupported limb count"); break;
+  }
+}
+
+// Plain-double norms for the backward-error scale (estimates need no
+// multiple-double arithmetic, and none is tallied).
+template <class T>
+double dnorm_inf_mat(const blas::Matrix<T>& a) noexcept {
+  double m = 0;
+  for (int i = 0; i < a.rows(); ++i) {
+    double s = 0;
+    for (int j = 0; j < a.cols(); ++j) s += std::fabs(a(i, j).to_double());
+    m = std::max(m, s);
+  }
+  return m;
+}
+template <class T>
+double dnorm_one_mat(const blas::Matrix<T>& a) noexcept {
+  double m = 0;
+  for (int j = 0; j < a.cols(); ++j) {
+    double s = 0;
+    for (int i = 0; i < a.rows(); ++i) s += std::fabs(a(i, j).to_double());
+    m = std::max(m, s);
+  }
+  return m;
+}
+template <class T>
+double dnorm_inf_vec(const blas::Vector<T>& v) noexcept {
+  double m = 0;
+  for (const T& x : v) m = std::max(m, std::fabs(x.to_double()));
+  return m;
+}
+
+template <int P, int NH>
+blas::Matrix<md::mdreal<P>> narrow_matrix(
+    const blas::Matrix<md::mdreal<NH>>& a) {
+  blas::Matrix<md::mdreal<P>> r(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j)
+      r(i, j) = a(i, j).template to_precision<P>();
+  return r;
+}
+template <int P, int NH>
+blas::Vector<md::mdreal<P>> narrow_vector(
+    const blas::Vector<md::mdreal<NH>>& v) {
+  blas::Vector<md::mdreal<P>> r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    r[i] = v[i].template to_precision<P>();
+  return r;
+}
+
+// The condition-estimator launch: fixed-count host arithmetic on the R
+// factor, declared exactly (blas::tri_condition_ops).
+template <class Body>
+void launch_cond_est(device::Device& dev, int n, int tile, std::int64_t esz,
+                     Body&& body) {
+  const std::int64_t n64 = n;
+  const md::OpTally serial{.add = 2 * n64, .sub = 2 * n64, .mul = 2 * n64,
+                           .div = 2 * n64};
+  dev.launch(stage::cond_est, 1, tile, blas::tri_condition_ops(n),
+             (n64 * n64 / 2 + 2 * n64) * esz, serial,
+             std::forward<Body>(body));
+}
+
+// Mutable ladder state: the accumulated solution at the target precision
+// and the live factors at whichever precision last factorized.
+template <int NH>
+struct AdaptiveState {
+  blas::Vector<md::mdreal<NH>> x;
+  std::optional<LowPrecisionFactors<1>> f1;
+  std::optional<LowPrecisionFactors<2>> f2;
+  std::optional<LowPrecisionFactors<4>> f4;
+  std::optional<LowPrecisionFactors<8>> f8;
+  int factor_limbs = 0;  // 0: no factors yet
+  bool factors_stagnated = false;
+  double cond_est = std::numeric_limits<double>::infinity();
+  // Precision-independent scale parts of the backward error
+  // eta = ||A^H (b - A x)||_inf / (||A||_1 (||A||_inf ||x||_inf + ||b||_inf)).
+  double anorm_one = 0, anorm_inf = 0, bnorm_inf = 0;
+
+  template <int L>
+  std::optional<LowPrecisionFactors<L>>& slot() {
+    if constexpr (L == 1) return f1;
+    else if constexpr (L == 2) return f2;
+    else if constexpr (L == 4) return f4;
+    else return f8;
+  }
+  template <int L>
+  void set_factors(BlockedQrOutput<md::mdreal<L>>&& o) {
+    f1.reset(); f2.reset(); f4.reset(); f8.reset();
+    slot<L>() = LowPrecisionFactors<L>{
+        QrFactors<md::mdreal<L>>{std::move(o.q), std::move(o.r)}};
+    factor_limbs = L;
+    factors_stagnated = false;
+  }
+};
+
+// The polish loop of one rung: refinement with residuals at the rung
+// precision P against factors at precision FL (<= P), corrections priced
+// on `dev` (which runs at precision FL).  Host-side residual and update
+// arithmetic is tallied into rs.host_ops; the launch bodies divert to the
+// device's stage tallies (inner ScopedTally scopes shadow outer ones).
+template <int FL, int P, int NH>
+void polish_rung(device::Device& dev, const blas::Matrix<md::mdreal<P>>& ap,
+                 const blas::Vector<md::mdreal<P>>& bp,
+                 AdaptiveState<NH>& st, const AdaptiveOptions& opt,
+                 util::RungStats& rs) {
+  static_assert(FL <= P && P <= NH);
+  using TP = md::mdreal<P>;
+  using TF = md::mdreal<FL>;
+  const int m = ap.rows(), c = ap.cols();
+  const double floor_p =
+      opt.floor_ulps * m * eps_of_limbs(P);
+
+  md::ScopedTally host_scope(rs.host_ops);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int iter = 0;; ++iter) {
+    // Backward error at rung precision.
+    auto xp = narrow_vector<P, NH>(st.x);
+    auto ax = blas::gemv(ap, std::span<const TP>(xp));
+    blas::Vector<TP> r(m);
+    for (int i = 0; i < m; ++i) r[i] = bp[i] - ax[i];
+    auto g = blas::gemv_adjoint(ap, std::span<const TP>(r));
+    const double gnorm = blas::norm_inf(std::span<const TP>(g)).to_double();
+    double scale = st.anorm_one *
+                   (st.anorm_inf * dnorm_inf_vec(st.x) + st.bnorm_inf);
+    if (scale <= 0.0) scale = 1.0;
+    const double eta = gnorm / scale;
+    rs.backward_error = eta;
+    rs.forward_estimate = st.cond_est * eta;
+
+    if (rs.forward_estimate <= opt.tol || gnorm == 0.0) {
+      rs.accepted = true;
+      break;
+    }
+    if (eta <= floor_p) break;  // measured to the rung's floor; escalate
+    if (eta > prev * 0.5 || iter >= opt.max_refine_iters) {
+      st.factors_stagnated = true;  // these factors are exhausted
+      break;
+    }
+    prev = eta;
+
+    // Correction on the (possibly lower-precision) factors.
+    blas::Vector<TF> rf(m);
+    for (int i = 0; i < m; ++i) rf[i] = r[i].template to_precision<FL>();
+    auto dx = st.template slot<FL>()->solve_on(dev, std::span<const TF>(rf),
+                                               opt.tile);
+    for (int j = 0; j < c; ++j)
+      st.x[j] += dx[j].template to_precision<NH>();
+    rs.refine_iterations = iter + 1;
+  }
+}
+
+// One rung of the ladder at precision P.
+template <int P, int NH>
+void run_rung(const device::DeviceSpec& spec,
+              const blas::Matrix<md::mdreal<NH>>& a,
+              const blas::Vector<md::mdreal<NH>>& b, AdaptiveState<NH>& st,
+              const AdaptiveOptions& opt, AdaptiveLsqResult<NH>& out) {
+  static_assert(P <= NH);
+  const int c = a.cols();
+
+  util::RungStats rs;
+  rs.precision = md::Precision(P);
+
+  const double rate =
+      st.cond_est * eps_of_limbs(st.factor_limbs > 0 ? st.factor_limbs : P);
+  const bool refactor = st.factor_limbs == 0 || st.factors_stagnated ||
+                        rate > opt.refine_rate_threshold;
+
+  auto ap = narrow_matrix<P, NH>(a);
+  auto bp = narrow_vector<P, NH>(b);
+
+  if (refactor) {
+    device::Device dev(spec, md::Precision(P), device::ExecMode::functional);
+    auto sol = least_squares(dev, ap, bp, opt.tile);
+    blas::TriCondEstimate est;
+    launch_cond_est(dev, c, opt.tile, 8 * std::int64_t(P),
+                    [&] { est = blas::tri_condition_inf(sol.factors.r, c); });
+    st.cond_est = est.cond;
+    for (int j = 0; j < c; ++j)
+      st.x[j] = sol.x[j].template to_precision<NH>();
+    st.template set_factors<P>(std::move(sol.factors));
+    rs.refactorized = true;
+    rs.device_precision = md::Precision(P);
+    rs.cond_estimate = st.cond_est;
+    polish_rung<P, P, NH>(dev, ap, bp, st, opt, rs);
+    const device::DeviceUsage u = dev.usage();
+    rs.analytic = u.analytic;
+    rs.measured = u.measured;
+    rs.kernel_ms = u.kernel_ms;
+    rs.wall_ms = u.wall_ms;
+  } else {
+    device::Device dev(spec, md::Precision(st.factor_limbs),
+                       device::ExecMode::functional);
+    rs.device_precision = md::Precision(st.factor_limbs);
+    rs.cond_estimate = st.cond_est;
+    switch (st.factor_limbs) {
+      case 1:
+        polish_rung<1, P, NH>(dev, ap, bp, st, opt, rs);
+        break;
+      case 2:
+        if constexpr (P >= 2) polish_rung<2, P, NH>(dev, ap, bp, st, opt, rs);
+        break;
+      case 4:
+        if constexpr (P >= 4) polish_rung<4, P, NH>(dev, ap, bp, st, opt, rs);
+        break;
+      default:
+        if constexpr (P >= 8) polish_rung<8, P, NH>(dev, ap, bp, st, opt, rs);
+        break;
+    }
+    const device::DeviceUsage u = dev.usage();
+    rs.analytic = u.analytic;
+    rs.measured = u.measured;
+    rs.kernel_ms = u.kernel_ms;
+    rs.wall_ms = u.wall_ms;
+  }
+
+  out.final_precision = rs.precision;
+  out.converged = rs.accepted;
+  out.rungs.push_back(std::move(rs));
+}
+
+}  // namespace detail
+
+// The adaptive driver.  A and b live at the target precision NH; the
+// ladder starts at opt.start_limbs and never exceeds
+// min(opt.max_limbs, NH).  Requires cols % opt.tile == 0 (the device
+// pipeline's tiling contract) and a real scalar type.
+template <int NH>
+AdaptiveLsqResult<NH> adaptive_least_squares(
+    const device::DeviceSpec& spec, const blas::Matrix<md::mdreal<NH>>& a,
+    const blas::Vector<md::mdreal<NH>>& b, const AdaptiveOptions& opt = {}) {
+  static_assert(NH == 1 || NH == 2 || NH == 4 || NH == 8,
+                "the ladder runs on the cost-table precisions");
+  assert(a.rows() >= a.cols() && a.cols() % opt.tile == 0);
+  assert(static_cast<int>(b.size()) == a.rows());
+
+  const int maxl = opt.max_limbs > 0 ? std::min(opt.max_limbs, NH) : NH;
+  assert(opt.start_limbs <= maxl);
+
+  AdaptiveLsqResult<NH> out;
+  detail::AdaptiveState<NH> st;
+  st.x.assign(a.cols(), md::mdreal<NH>{});
+  st.anorm_one = detail::dnorm_one_mat(a);
+  st.anorm_inf = detail::dnorm_inf_mat(a);
+  st.bnorm_inf = detail::dnorm_inf_vec(b);
+
+  auto rung = [&](auto tag) {
+    constexpr int P = decltype(tag)::limbs;
+    if constexpr (P <= NH) {
+      if (P >= opt.start_limbs && P <= maxl && !out.converged)
+        detail::run_rung<P, NH>(spec, a, b, st, opt, out);
+    }
+  };
+  rung(md::mdreal<1>{});
+  rung(md::mdreal<2>{});
+  rung(md::mdreal<4>{});
+  rung(md::mdreal<8>{});
+
+  out.x = std::move(st.x);
+  return out;
+}
+
+// Dry-run pricing of the adaptive schedule for the sharding policies: a
+// factorization (plus condition estimate) at the starting rung, then
+// opt.dry_refine_iters correction solves per later rung on the starting
+// rung's factors — the expected path when conditioning permits reuse.
+// Escalation decisions are data-dependent, so this is a model, not a
+// replay (DESIGN.md section 4).
+struct AdaptiveDryResult {
+  std::vector<util::RungStats> rungs;
+
+  double kernel_ms() const noexcept {
+    double t = 0;
+    for (const auto& r : rungs) t += r.kernel_ms;
+    return t;
+  }
+  double wall_ms() const noexcept {
+    double t = 0;
+    for (const auto& r : rungs) t += r.wall_ms;
+    return t;
+  }
+  md::OpTally analytic() const noexcept {
+    md::OpTally t;
+    for (const auto& r : rungs) t += r.analytic;
+    return t;
+  }
+  double dp_gflop() const noexcept {
+    double f = 0;
+    for (const auto& r : rungs) f += r.dp_gflop();
+    return f;
+  }
+};
+
+template <class T>
+AdaptiveDryResult adaptive_least_squares_dry(const device::DeviceSpec& spec,
+                                             int rows, int cols,
+                                             const AdaptiveOptions& opt = {}) {
+  static_assert(!blas::is_complex_v<T>,
+                "the adaptive ladder runs on real problems");
+  constexpr int NH = blas::scalar_traits<T>::limbs;
+  const int maxl = opt.max_limbs > 0 ? std::min(opt.max_limbs, NH) : NH;
+  assert(opt.start_limbs <= maxl && cols % opt.tile == 0);
+
+  AdaptiveDryResult out;
+  detail::with_limbs(opt.start_limbs, [&](auto tag) {
+    using TS = decltype(tag);
+    {  // the starting rung factorizes
+      device::Device dev(spec, md::Precision(TS::limbs),
+                         device::ExecMode::dry_run);
+      least_squares_dry<TS>(dev, rows, cols, opt.tile);
+      detail::launch_cond_est(dev, cols, opt.tile, 8 * std::int64_t(TS::limbs),
+                              [] {});
+      util::RungStats rs;
+      rs.precision = rs.device_precision = md::Precision(TS::limbs);
+      rs.refactorized = true;
+      const device::DeviceUsage u = dev.usage();
+      rs.analytic = u.analytic;
+      rs.kernel_ms = u.kernel_ms;
+      rs.wall_ms = u.wall_ms;
+      out.rungs.push_back(std::move(rs));
+    }
+    for (int l = 2 * TS::limbs; l <= maxl; l *= 2) {
+      // later rungs refine on the starting rung's factors
+      device::Device dev(spec, md::Precision(TS::limbs),
+                         device::ExecMode::dry_run);
+      for (int k = 0; k < opt.dry_refine_iters; ++k)
+        correction_solve_dry<TS>(dev, rows, cols, opt.tile);
+      util::RungStats rs;
+      rs.precision = md::Precision(l);
+      rs.device_precision = md::Precision(TS::limbs);
+      rs.refine_iterations = opt.dry_refine_iters;
+      const device::DeviceUsage u = dev.usage();
+      rs.analytic = u.analytic;
+      rs.kernel_ms = u.kernel_ms;
+      rs.wall_ms = u.wall_ms;
+      out.rungs.push_back(std::move(rs));
+    }
+  });
+  return out;
+}
+
+}  // namespace mdlsq::core

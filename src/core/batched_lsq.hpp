@@ -24,12 +24,15 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "blas/gemm.hpp"
+#include "core/adaptive_lsq.hpp"
 #include "core/back_substitution.hpp"
 #include "core/least_squares.hpp"
 #include "device/device_spec.hpp"
@@ -45,6 +48,20 @@ inline const char* name_of(ShardPolicy p) noexcept {
   switch (p) {
     case ShardPolicy::round_robin: return "round-robin";
     case ShardPolicy::greedy_by_modeled_time: return "greedy-by-modeled-time";
+  }
+  return "?";
+}
+
+// The per-problem pipeline.  `direct` is the fixed-precision device solve
+// (optionally polished by refine_passes); `adaptive` climbs the precision
+// ladder per problem (adaptive_lsq.hpp), so one batch can mix rungs —
+// each problem pays only for the precision its conditioning demands.
+enum class BatchPipeline { direct, adaptive };
+
+inline const char* name_of(BatchPipeline p) noexcept {
+  switch (p) {
+    case BatchPipeline::direct: return "direct";
+    case BatchPipeline::adaptive: return "adaptive";
   }
   return "?";
 }
@@ -100,6 +117,11 @@ struct BatchedLsqOptions {
   ShardPolicy policy = ShardPolicy::round_robin;
   device::ExecMode mode = device::ExecMode::functional;
   int threads = 0;  // host threads; 0 means one per pool slot
+  BatchPipeline pipeline = BatchPipeline::direct;
+  // Ladder parameters of the adaptive pipeline (its tile is overridden by
+  // `tile` above so both pipelines schedule identically).  Real scalar
+  // types only.
+  AdaptiveOptions adaptive;
 };
 
 template <class T>
@@ -112,6 +134,13 @@ struct BatchedProblemResult {
   md::OpTally refine;         // host refinement operations
   double kernel_ms = 0.0;     // modeled kernel time
   double wall_ms = 0.0;       // modeled wall time (kernel + transfers)
+  // Converted per rung at its true device precision (equals
+  // analytic.dp_flops(precision of T) for the direct pipeline).
+  double dp_gflop = 0.0;
+  // Adaptive pipeline only: the ladder this problem climbed.
+  std::vector<util::RungStats> rungs;
+  bool converged = true;
+  md::Precision final_precision = md::Precision(blas::scalar_traits<T>::limbs);
 };
 
 template <class T>
@@ -123,11 +152,80 @@ struct BatchedLsqResult {
 
 namespace detail {
 
+// The batched adaptive options: the ladder inherits the batch tile so
+// both pipelines schedule identically.
+inline AdaptiveOptions ladder_options(const BatchedLsqOptions& opt) noexcept {
+  AdaptiveOptions a = opt.adaptive;
+  a.tile = opt.tile;
+  return a;
+}
+
+// The adaptive ladder runs on real scalars only.  The check must survive
+// NDEBUG: silently serving a direct solve under an "adaptive" label would
+// hand the caller results from a pipeline they did not ask for.
+template <class T>
+void require_pipeline_supported(const BatchedLsqOptions& opt) {
+  if constexpr (blas::is_complex_v<T>) {
+    if (opt.pipeline == BatchPipeline::adaptive) {
+      std::fprintf(stderr,
+                   "mdlsq: BatchPipeline::adaptive requires a real scalar "
+                   "type\n");
+      std::abort();
+    }
+  } else {
+    (void)opt;
+  }
+}
+
+// Solves one problem with the adaptive ladder (real scalars only).
+template <class T>
+BatchedProblemResult<T> solve_one_adaptive(const device::DeviceSpec& spec,
+                                           int slot, int idx,
+                                           const BatchProblem<T>& p,
+                                           const BatchedLsqOptions& opt) {
+  static_assert(!blas::is_complex_v<T>,
+                "the adaptive pipeline runs on real problems");
+  constexpr int NH = blas::scalar_traits<T>::limbs;
+  const AdaptiveOptions aopt = ladder_options(opt);
+
+  BatchedProblemResult<T> r;
+  r.problem = idx;
+  r.device = slot;
+  if (opt.mode == device::ExecMode::functional) {
+    auto sol = adaptive_least_squares<NH>(spec, p.a, p.b, aopt);
+    r.x = std::move(sol.x);
+    r.analytic = sol.device_analytic();
+    r.measured = sol.device_measured();
+    r.refine = sol.host_ops();
+    r.kernel_ms = sol.kernel_ms();
+    r.wall_ms = sol.wall_ms();
+    r.dp_gflop = sol.dp_gflop();
+    r.rungs = std::move(sol.rungs);
+    r.converged = sol.converged;
+    r.final_precision = sol.final_precision;
+  } else {
+    auto dry = adaptive_least_squares_dry<T>(spec, p.m(), p.c(), aopt);
+    r.analytic = dry.analytic();
+    r.kernel_ms = dry.kernel_ms();
+    r.wall_ms = dry.wall_ms();
+    r.dp_gflop = dry.dp_gflop();
+    r.rungs = std::move(dry.rungs);
+  }
+  return r;
+}
+
 // Solves one problem against a fresh Device on the given pool slot.
 template <class T>
 BatchedProblemResult<T> solve_one(const device::DeviceSpec& spec, int slot,
                                   int idx, const BatchProblem<T>& p,
                                   const BatchedLsqOptions& opt) {
+  if (opt.pipeline == BatchPipeline::adaptive) {
+    if constexpr (!blas::is_complex_v<T>) {
+      return solve_one_adaptive<T>(spec, slot, idx, p, opt);
+    } else {
+      assert(!"the adaptive pipeline requires real problems");
+    }
+  }
   const auto prec = md::Precision(blas::scalar_traits<T>::limbs);
   device::Device dev(spec, prec, opt.mode);
 
@@ -156,14 +254,25 @@ BatchedProblemResult<T> solve_one(const device::DeviceSpec& spec, int slot,
   r.measured = dev.measured_total();
   r.kernel_ms = dev.kernel_ms();
   r.wall_ms = dev.wall_ms();
+  r.dp_gflop = r.analytic.dp_flops(prec) * 1e-9;
   return r;
 }
 
 // Modeled wall time of one problem, from a dry run of the identical
-// launch schedule (no arithmetic, no matrix storage).
+// launch schedule (no arithmetic, no matrix storage).  Adaptive problems
+// are priced with the ladder's dry schedule.
 template <class T>
 double modeled_wall_ms(const device::DeviceSpec& spec, const BatchProblem<T>& p,
                        const BatchedLsqOptions& opt) {
+  if (opt.pipeline == BatchPipeline::adaptive) {
+    if constexpr (!blas::is_complex_v<T>) {
+      return adaptive_least_squares_dry<T>(spec, p.m(), p.c(),
+                                           ladder_options(opt))
+          .wall_ms();
+    } else {
+      assert(!"the adaptive pipeline requires real problems");
+    }
+  }
   const auto prec = md::Precision(blas::scalar_traits<T>::limbs);
   device::Device dev(spec, prec, device::ExecMode::dry_run);
   least_squares_dry<T>(dev, p.m(), p.c(), opt.tile);
@@ -178,6 +287,7 @@ template <class T>
 std::vector<std::vector<int>> shard_assignment(
     const DevicePool& pool, const std::vector<BatchProblem<T>>& problems,
     const BatchedLsqOptions& opt) {
+  detail::require_pipeline_supported<T>(opt);
   const int d = pool.size();
   assert(d >= 1);
   std::vector<std::vector<int>> shards(static_cast<std::size_t>(d));
@@ -238,6 +348,7 @@ template <class T>
 BatchedLsqResult<T> batched_least_squares(
     const DevicePool& pool, const std::vector<BatchProblem<T>>& problems,
     const BatchedLsqOptions& opt = {}) {
+  detail::require_pipeline_supported<T>(opt);
   const int d = pool.size();
   assert(d >= 1);
 
@@ -262,6 +373,7 @@ BatchedLsqResult<T> batched_least_squares(
   util::BatchReport& rep = out.report;
   rep.precision = md::Precision(blas::scalar_traits<T>::limbs);
   rep.policy = name_of(opt.policy);
+  rep.pipeline = name_of(opt.pipeline);
   rep.rows.resize(static_cast<std::size_t>(d));
   for (int s = 0; s < d; ++s) {
     auto& row = rep.rows[static_cast<std::size_t>(s)];
@@ -271,12 +383,35 @@ BatchedLsqResult<T> batched_least_squares(
     for (int i : row.problems) {
       const auto& pr = out.problems[static_cast<std::size_t>(i)];
       row.tally += pr.analytic;
+      row.dp_gflop += pr.dp_gflop;
       row.kernel_ms += pr.kernel_ms;
       row.wall_ms += pr.wall_ms;
     }
     rep.tally += row.tally;
+    rep.dp_gflop_total += row.dp_gflop;
     rep.kernel_ms += row.kernel_ms;
     rep.makespan_ms = std::max(rep.makespan_ms, row.wall_ms);
+  }
+
+  // Escalation statistics: one report row per ladder rung that any
+  // problem entered, in ladder order (adaptive pipeline only).
+  if (opt.pipeline == BatchPipeline::adaptive) {
+    for (int limbs : {1, 2, 4, 8}) {
+      util::BatchRungRow rr;
+      rr.precision = md::Precision(limbs);
+      for (const auto& pr : out.problems)
+        for (const auto& rg : pr.rungs) {
+          if (rg.precision != rr.precision) continue;
+          rr.problems += 1;
+          rr.refactorizations += rg.refactorized ? 1 : 0;
+          rr.accepted += rg.accepted ? 1 : 0;
+          rr.refine_iterations += rg.refine_iterations;
+          rr.tally += rg.analytic;
+          rr.dp_gflop += rg.dp_gflop();
+          rr.kernel_ms += rg.kernel_ms;
+        }
+      if (rr.problems > 0) rep.rungs.push_back(std::move(rr));
+    }
   }
   return out;
 }

@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 
 #include "core/blocked_qr.hpp"
 #include "core/tiled_back_sub.hpp"
@@ -22,6 +23,10 @@ struct LeastSquaresResult {
   blas::Vector<T> x;       // functional mode only
   double qr_kernel_ms = 0;  // modeled kernel time of the QR phase
   double bs_kernel_ms = 0;  // modeled kernel time of Q^H b + back subst.
+  // The QR factors the pipeline computed anyway (functional mode only),
+  // kept so callers can reuse them — the adaptive ladder refines against
+  // them instead of refactorizing (adaptive_lsq.hpp).
+  BlockedQrOutput<T> factors;
 };
 
 template <class T>
@@ -60,6 +65,7 @@ LeastSquaresResult<T> least_squares_run(device::Device& dev,
     for (int i = 0; i < C; ++i)
       for (int j = i; j < C; ++j) r_top(i, j) = f.r(i, j);
     out.x = tiled_back_sub_run<T>(dev, &r_top, &y, C / tile, tile);
+    out.factors = std::move(f);
   } else {
     tiled_back_sub_run<T>(dev, nullptr, nullptr, C / tile, tile);
   }

@@ -24,10 +24,75 @@
 
 #include "blas/gemm.hpp"
 #include "core/back_substitution.hpp"
+#include "core/blocked_qr.hpp"
 #include "core/householder.hpp"
 #include "md/mdreal.hpp"
 
 namespace mdlsq::core {
+
+namespace stage {
+inline constexpr const char* ref_qhr = "refine Q^H r";
+inline constexpr const char* ref_bs = "refine back sub";
+}  // namespace stage
+
+// Device-priced correction solve min ||r - A dx|| against already-computed
+// QR factors: y = (Q^H r)[0:c], then back substitution on the top block of
+// R — the same arithmetic as LowPrecisionFactors::solve, issued as two
+// kernel launches so the device model prices each refinement iteration of
+// the adaptive ladder.  `f` is null (and `r` empty) in dry-run mode, where
+// only the dimensions drive the schedule; the declared tallies match the
+// functional bodies exactly, as everywhere else.
+template <class TL>
+blas::Vector<TL> correction_solve_run(device::Device& dev,
+                                      const QrFactors<TL>* f,
+                                      std::span<const TL> r, int m, int c,
+                                      int tile) {
+  using O = ops_of<TL>;
+  [[maybe_unused]] const bool fn = dev.functional();
+  assert(!fn || (f != nullptr && static_cast<int>(r.size()) == m));
+  const std::int64_t esz = 8 * blas::scalar_traits<TL>::doubles_per_element;
+
+  // Wall-clock transfer model: residual in, correction out.
+  dev.transfer((std::int64_t(m) + c) * esz);
+
+  blas::Vector<TL> y(c);
+  {
+    const md::OpTally ops = O::fma() * (std::int64_t(m) * c);
+    const md::OpTally serial = O::fma() * ceil_div(m, tile) + O::add() * 6;
+    dev.launch(stage::ref_qhr, c, tile, ops,
+               (std::int64_t(m) * c + m + c) * esz, serial, [&] {
+                 for (int j = 0; j < c; ++j) {
+                   TL s{};
+                   for (int i = 0; i < m; ++i)
+                     s += blas::conj_of(f->q(i, j)) * r[i];
+                   y[j] = s;
+                 }
+               });
+  }
+
+  blas::Vector<TL> dx;
+  {
+    const md::OpTally ops =
+        O::fms() * (std::int64_t(c) * (c - 1) / 2) + O::div() * c;
+    // The solve is one dependency chain from the last row up.
+    const md::OpTally serial = (O::fms() + O::div()) * c;
+    dev.launch(stage::ref_bs, 1, tile, ops,
+               (std::int64_t(c) * c / 2 + 2 * c) * esz, serial, [&] {
+                 blas::Matrix<TL> top(c, c);
+                 for (int i = 0; i < c; ++i)
+                   for (int j = i; j < c; ++j) top(i, j) = f->r(i, j);
+                 dx = back_substitute(top, std::span<const TL>(y));
+               });
+  }
+  return dx;
+}
+
+// Dry-run pricing of one correction solve for given dimensions.
+template <class TL>
+void correction_solve_dry(device::Device& dev, int m, int c, int tile) {
+  assert(dev.mode() == device::ExecMode::dry_run);
+  correction_solve_run<TL>(dev, nullptr, {}, m, c, tile);
+}
 
 template <int NH>
 struct RefinementResult {
@@ -68,6 +133,16 @@ struct LowPrecisionFactors {
     for (int i = 0; i < c; ++i)
       for (int j = i; j < c; ++j) top(i, j) = qr.r(i, j);
     return back_substitute(top, std::span<const TL>(y));
+  }
+
+  // Same solve, issued through the device model so refinement iterations
+  // are priced like every other kernel (the adaptive ladder's escalation
+  // currency).
+  blas::Vector<md::mdreal<NL>> solve_on(device::Device& dev,
+                                        std::span<const md::mdreal<NL>> r,
+                                        int tile) const {
+    return correction_solve_run<md::mdreal<NL>>(dev, &qr, r, qr.q.rows(),
+                                                qr.r.cols(), tile);
   }
 };
 

@@ -42,6 +42,22 @@ struct StageStats {
   double kernel_ms = 0.0;      // modeled kernel time
 };
 
+// Flat usage summary of one Device — what a multi-stage driver (e.g. the
+// adaptive precision ladder, which runs one Device per rung) folds into
+// its per-stage accounting.  dp_flops converts at the device's precision,
+// so summaries from devices at different precisions can be added as
+// double-precision flops even though their OpTally counts must not be
+// merged under a single Table 1 row.
+struct DeviceUsage {
+  std::int64_t launches = 0;
+  md::OpTally analytic;
+  md::OpTally measured;
+  std::int64_t bytes = 0;
+  double kernel_ms = 0.0;
+  double wall_ms = 0.0;
+  double dp_flops = 0.0;
+};
+
 class Device {
  public:
   Device(const DeviceSpec& spec, md::Precision prec, ExecMode mode,
@@ -123,6 +139,11 @@ class Device {
   double wall_gflops() const noexcept {
     const double ms = wall_ms();
     return ms > 0 ? dp_flops() / (ms * 1e6) : 0.0;
+  }
+
+  DeviceUsage usage() const noexcept {
+    return {launches(),  analytic_total(), measured_total(), bytes_total(),
+            kernel_ms(), wall_ms(),        dp_flops()};
   }
 
   void reset() {

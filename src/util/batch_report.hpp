@@ -1,9 +1,12 @@
 // The aggregate report of one batched least-squares run: per-device rows
 // (problems served, multiple-double operations, modeled kernel and wall
-// times) plus batch totals, printed in the paper's table style.
+// times) plus batch totals, printed in the paper's table style.  Batches
+// run under the adaptive precision ladder additionally carry per-rung
+// escalation statistics (one row per ladder rung: problems that entered
+// the rung, refactorizations, refinement iterations, acceptance counts).
 //
-// The type is scalar-agnostic plain data so the bench harness and the
-// service layers can log it without instantiating the solver templates.
+// The types are scalar-agnostic plain data so the bench harness and the
+// service layers can log them without instantiating the solver templates.
 #pragma once
 
 #include <cstdint>
@@ -16,20 +19,69 @@
 
 namespace mdlsq::util {
 
+// Per-rung statistics of one adaptive precision-ladder solve (filled by
+// core::adaptive_lsq).  `precision` is the rung's target — the precision
+// residuals and the acceptance test are evaluated at; `device_precision`
+// is the precision the rung's kernel launches were priced at (the factor
+// precision, which lags behind on refinement-only rungs).  Tallies from
+// rungs at different precisions must not be CONVERTED under one Table 1
+// row (raw operation counts may be summed), so dp-flop conversion happens
+// here, per rung, before any aggregation.
+struct RungStats {
+  md::Precision precision = md::Precision::d2;
+  md::Precision device_precision = md::Precision::d2;
+  bool refactorized = false;   // this rung ran a fresh factorization
+  bool accepted = false;       // the acceptance test passed at this rung
+  int refine_iterations = 0;
+  double cond_estimate = 0.0;  // triangular estimate from the live factors
+  double backward_error = 0.0; // normwise relative gradient after the rung
+  double forward_estimate = 0.0;  // cond_estimate * backward_error
+  md::OpTally analytic;        // declared ops of the rung's launches
+  md::OpTally measured;        // counted from the functional bodies
+  md::OpTally host_ops;        // residual/acceptance work on the host
+  double kernel_ms = 0.0;
+  double wall_ms = 0.0;
+
+  double dp_gflop() const noexcept {
+    return analytic.dp_flops(device_precision) * 1e-9;
+  }
+};
+
 struct BatchDeviceRow {
   int device = -1;             // index within the pool
   std::string name;            // DeviceSpec name
   std::vector<int> problems;   // problem ids served, ascending
   md::OpTally tally;           // summed analytic tallies of the shard
+  double dp_gflop = 0.0;       // converted per problem at its true rungs
   double kernel_ms = 0.0;      // summed modeled kernel time
   double wall_ms = 0.0;        // summed modeled wall time of the shard
 };
 
-struct BatchReport {
+// One ladder rung aggregated across the batch (adaptive pipeline only).
+// `tally` sums raw multiple-double operation COUNTS, which are precision-
+// agnostic and safe to merge even when problems reached this rung at
+// different device precisions (refine vs refactor); `dp_gflop` is the
+// precision-priced quantity and is therefore converted per problem-rung
+// BEFORE summation — never from the merged tally.
+struct BatchRungRow {
   md::Precision precision = md::Precision::d2;
+  int problems = 0;            // problems whose ladder entered this rung
+  int refactorizations = 0;
+  int accepted = 0;
+  std::int64_t refine_iterations = 0;
+  md::OpTally tally;           // summed op counts of these rungs
+  double dp_gflop = 0.0;       // summed per-rung conversions
+  double kernel_ms = 0.0;
+};
+
+struct BatchReport {
+  md::Precision precision = md::Precision::d2;  // the batch's target type
   std::string policy;                 // sharding policy name
+  std::string pipeline;               // per-problem pipeline name
   std::vector<BatchDeviceRow> rows;   // one per pool device, in pool order
+  std::vector<BatchRungRow> rungs;    // escalation stats; empty for direct
   md::OpTally tally;                  // batch aggregate (== sum of rows)
+  double dp_gflop_total = 0.0;        // summed per-device dp_gflop
   double kernel_ms = 0.0;             // summed over devices
   // Modeled batch makespan: devices run concurrently, so the batch
   // finishes with its slowest shard.
@@ -41,13 +93,14 @@ struct BatchReport {
     return n;
   }
 
-  double dp_gflop() const noexcept { return tally.dp_flops(precision) * 1e-9; }
+  double dp_gflop() const noexcept { return dp_gflop_total; }
 
   void print(std::FILE* out = stdout) const {
     std::fprintf(out, "batched least squares: %d problems on %zu devices, "
-                      "policy %s, precision %s\n",
+                      "policy %s%s%s, precision %s\n",
                  problem_count(), rows.size(), policy.c_str(),
-                 md::name_of(precision));
+                 pipeline.empty() ? "" : ", pipeline ",
+                 pipeline.c_str(), md::name_of(precision));
     Table t({"device", "spec", "problems", "md ops", "dp Gflop",
              "kernel ms", "wall ms"});
     for (const auto& r : rows) {
@@ -56,13 +109,26 @@ struct BatchReport {
         ids += (i ? "," : "") + std::to_string(r.problems[i]);
       t.add_row({std::to_string(r.device), r.name,
                  ids.empty() ? "-" : ids, std::to_string(r.tally.md_ops()),
-                 fmt2(r.tally.dp_flops(precision) * 1e-9), fmt2(r.kernel_ms),
-                 fmt2(r.wall_ms)});
+                 fmt2(r.dp_gflop), fmt2(r.kernel_ms), fmt2(r.wall_ms)});
     }
     t.add_row({"all", "-", std::to_string(problem_count()),
-               std::to_string(tally.md_ops()), fmt2(dp_gflop()),
+               std::to_string(tally.md_ops()), fmt2(dp_gflop_total),
                fmt2(kernel_ms), fmt2(makespan_ms)});
     t.print(out);
+
+    if (!rungs.empty()) {
+      std::fprintf(out, "precision-ladder escalation:\n");
+      Table e({"rung", "problems", "refactor", "accepted", "refine iters",
+               "md ops", "dp Gflop", "kernel ms"});
+      for (const auto& r : rungs)
+        e.add_row({md::name_of(r.precision), std::to_string(r.problems),
+                   std::to_string(r.refactorizations),
+                   std::to_string(r.accepted),
+                   std::to_string(r.refine_iterations),
+                   std::to_string(r.tally.md_ops()), fmt2(r.dp_gflop),
+                   fmt2(r.kernel_ms)});
+      e.print(out);
+    }
   }
 };
 

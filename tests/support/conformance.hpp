@@ -1,0 +1,221 @@
+// Property-based conformance harness for the device pipeline.
+//
+// Instead of hand-picked fixed dimensions, the suite sweeps seeded random
+// shapes — rows, columns, tile sizes and limb counts — through the
+// factorization, the tiled back substitution, the least-squares solver
+// and the adaptive precision ladder, checking each case against a
+// BACKWARD-ERROR ORACLE at the working precision:
+//
+//   QR:           ||A - Q R||_max / (m ||A||_max)            = O(eps)
+//                 ||Q^H Q - I||_max                           = O(m eps)
+//   back subst.:  ||U x - b||_inf / (||U||_inf ||x||_inf + ||b||_inf)
+//                                                             = O(n eps)
+//   least squares: ||A^H (b - A x)||_inf scaled               = O(m eps)
+//   adaptive:     estimated forward error <= tol and a coherent ladder
+//
+// plus the structural invariants every case must satisfy regardless of
+// shape: exact measured-vs-analytic tallies per stage, and dry-run
+// equivalence (identical analytic totals, launch counts and modeled
+// kernel times).  The oracles are eps-scaled, so one generator drives all
+// limb counts, real and complex.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "blas/generate.hpp"
+#include "blas/norms.hpp"
+#include "core/adaptive_lsq.hpp"
+#include "core/back_substitution.hpp"
+#include "core/blocked_qr.hpp"
+#include "core/householder.hpp"
+#include "core/least_squares.hpp"
+#include "core/tiled_back_sub.hpp"
+#include "support/test_support.hpp"
+
+namespace mdlsq::test_support {
+
+// One generated case of a conformance sweep.
+struct ShapeCase {
+  int rows = 0;
+  int cols = 0;
+  int tile = 0;
+  std::uint64_t seed = 0;
+
+  std::string label() const {
+    return std::to_string(rows) + "x" + std::to_string(cols) + " tile " +
+           std::to_string(tile) + " seed " + std::to_string(seed);
+  }
+};
+
+// Seeded shape generator: cols = tile * tiles (the pipeline's tiling
+// contract), rows = cols + excess.  Same seed, same sweep — failures
+// reproduce by construction.
+inline std::vector<ShapeCase> shape_sweep(std::uint64_t seed, int count,
+                                          int max_tile = 10, int max_tiles = 3,
+                                          int max_excess = 12) {
+  std::mt19937_64 gen(seed);
+  std::uniform_int_distribution<int> tile_d(1, max_tile);
+  std::uniform_int_distribution<int> tiles_d(1, max_tiles);
+  std::uniform_int_distribution<int> excess_d(0, max_excess);
+  std::vector<ShapeCase> cases(static_cast<std::size_t>(count));
+  for (auto& c : cases) {
+    c.tile = tile_d(gen);
+    c.cols = c.tile * tiles_d(gen);
+    c.rows = c.cols + excess_d(gen);
+    c.seed = gen();
+  }
+  return cases;
+}
+
+// --- oracles ----------------------------------------------------------------
+
+// Blocked QR: backward error, orthogonality, triangularity, agreement
+// with the unblocked reference, tally exactness, dry-run equivalence.
+template <class T>
+void check_qr_conformance(const ShapeCase& c, double ulps = 64.0) {
+  SCOPED_TRACE("qr " + c.label());
+  std::mt19937_64 gen(c.seed);
+  auto a = blas::random_matrix<T>(c.rows, c.cols, gen);
+  auto dev = make_dev<T>(device::ExecMode::functional);
+  auto f = core::blocked_qr(dev, a, c.tile);
+
+  const double eps = blas::real_of_t<T>::eps();
+  const double anorm = std::max(1.0, blas::norm_max(a).to_double());
+  EXPECT_LE(blas::max_abs_diff(blas::gemm(f.q, f.r), a).to_double(),
+            ulps * c.rows * eps * anorm);
+  EXPECT_LE(blas::orthogonality_defect(f.q).to_double(), ulps * c.rows * eps);
+  for (int i = 0; i < c.rows; ++i)
+    for (int j = 0; j < c.cols && j < i; ++j)
+      EXPECT_LE(blas::abs_of(f.r(i, j)).to_double(), ulps * c.rows * eps);
+
+  auto ref = core::householder_qr(a);
+  EXPECT_LE(blas::max_abs_diff(ref.r, f.r).to_double(),
+            4.0 * ulps * c.rows * eps * anorm);
+
+  expect_stage_tallies_exact(dev);
+
+  auto dry = make_dev<T>(device::ExecMode::dry_run);
+  core::blocked_qr_dry<T>(dry, c.rows, c.cols, c.tile);
+  EXPECT_TRUE(dry.analytic_total() == dev.analytic_total());
+  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dev.kernel_ms());
+  EXPECT_EQ(dry.launches(), dev.launches());
+}
+
+// Tiled back substitution: normwise backward error against a
+// well-conditioned random triangular system, host agreement, tallies,
+// dry-run equivalence.  The case's cols/tile define the tiling; rows is
+// ignored (the system is square by construction).
+template <class T>
+void check_back_sub_conformance(const ShapeCase& c, double ulps = 512.0) {
+  SCOPED_TRACE("backsub " + c.label());
+  const int n = c.cols, nt = c.cols / c.tile;
+  std::mt19937_64 gen(c.seed);
+  auto u = blas::random_upper_triangular<T>(n, gen);
+  auto b = blas::random_vector<T>(n, gen);
+
+  auto dev = make_dev<T>(device::ExecMode::functional);
+  auto x = core::tiled_back_sub(dev, u, b, nt, c.tile);
+  ASSERT_EQ(static_cast<int>(x.size()), n);
+
+  auto ux = blas::gemv(u, std::span<const T>(x));
+  blas::Vector<T> r(n);
+  for (int i = 0; i < n; ++i) r[i] = b[i] - ux[i];
+  const double scale =
+      blas::norm_inf_mat(u).to_double() *
+          blas::norm_inf(std::span<const T>(x)).to_double() +
+      blas::norm_inf(std::span<const T>(b)).to_double();
+  const double eta =
+      blas::norm_inf(std::span<const T>(r)).to_double() / std::max(scale, 1.0);
+  EXPECT_LE(eta, ulps * n * blas::real_of_t<T>::eps());
+
+  auto xr = core::back_substitute(u, std::span<const T>(b));
+  for (int i = 0; i < n; ++i)
+    EXPECT_LE(blas::abs_of(x[i] - xr[i]).to_double(),
+              ulps * n * blas::real_of_t<T>::eps() * std::max(scale, 1.0));
+
+  expect_stage_tallies_exact(dev);
+
+  auto dry = make_dev<T>(device::ExecMode::dry_run);
+  core::tiled_back_sub_dry<T>(dry, nt, c.tile);
+  EXPECT_TRUE(dry.analytic_total() == dev.analytic_total());
+  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dev.kernel_ms());
+  EXPECT_EQ(dry.launches(), dev.launches());
+}
+
+// Full least-squares pipeline: the normal-equations optimality residual,
+// agreement with the host baseline, tallies, dry-run equivalence.
+template <class T>
+void check_lsq_conformance(const ShapeCase& c, double ulps = 1e4) {
+  SCOPED_TRACE("lsq " + c.label());
+  std::mt19937_64 gen(c.seed);
+  auto a = blas::random_matrix<T>(c.rows, c.cols, gen);
+  auto b = blas::random_vector<T>(c.rows, gen);
+  auto dev = make_dev<T>(device::ExecMode::functional);
+  auto res = core::least_squares(dev, a, b, c.tile);
+  ASSERT_EQ(static_cast<int>(res.x.size()), c.cols);
+
+  const double tol = ulps * c.rows * blas::real_of_t<T>::eps();
+  EXPECT_LE(optimality(a, res.x, b), tol);
+
+  auto xh = core::least_squares_host(a, std::span<const T>(b));
+  for (int i = 0; i < c.cols; ++i)
+    EXPECT_LE(blas::abs_of(res.x[i] - xh[i]).to_double(), tol);
+
+  expect_stage_tallies_exact(dev);
+
+  auto dry = make_dev<T>(device::ExecMode::dry_run);
+  auto dres = core::least_squares_dry<T>(dry, c.rows, c.cols, c.tile);
+  EXPECT_TRUE(dry.analytic_total() == dev.analytic_total());
+  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dev.kernel_ms());
+  EXPECT_DOUBLE_EQ(dres.qr_kernel_ms, res.qr_kernel_ms);
+  EXPECT_DOUBLE_EQ(dres.bs_kernel_ms, res.bs_kernel_ms);
+}
+
+// Adaptive ladder on a consistent random system with a known solution:
+// the requested tolerance must be met against the TRUE solution (with
+// slack for the condition estimate being a lower bound), and the ladder
+// must be structurally coherent — strictly increasing rung precisions,
+// device precision never above the rung, exactly the last rung accepted,
+// exact tallies on every rung.
+template <int NH>
+void check_adaptive_conformance(const ShapeCase& c, double tol,
+                                double slack = 1e4) {
+  SCOPED_TRACE("adaptive " + c.label());
+  using T = md::mdreal<NH>;
+  std::mt19937_64 gen(c.seed);
+  auto a = blas::random_matrix<T>(c.rows, c.cols, gen);
+  auto xs = blas::random_vector<T>(c.cols, gen);
+  auto b = blas::gemv(a, std::span<const T>(xs));
+
+  core::AdaptiveOptions opt;
+  opt.tol = tol;
+  opt.tile = c.tile;
+  auto res =
+      core::adaptive_least_squares<NH>(device::volta_v100(), a, b, opt);
+  EXPECT_TRUE(res.converged);
+  const double xnorm =
+      std::max(1.0, blas::norm_inf(std::span<const T>(xs)).to_double());
+  for (int i = 0; i < c.cols; ++i)
+    EXPECT_LE(blas::abs_of(res.x[i] - xs[i]).to_double(),
+              slack * tol * xnorm);
+
+  ASSERT_FALSE(res.rungs.empty());
+  int prev_limbs = 0;
+  for (std::size_t k = 0; k < res.rungs.size(); ++k) {
+    const auto& r = res.rungs[k];
+    EXPECT_GT(md::limbs_of(r.precision), prev_limbs);
+    prev_limbs = md::limbs_of(r.precision);
+    EXPECT_LE(md::limbs_of(r.device_precision), md::limbs_of(r.precision));
+    EXPECT_EQ(r.accepted, k + 1 == res.rungs.size());
+    EXPECT_TRUE(r.measured == r.analytic)
+        << "rung " << md::name_of(r.precision) << " tally mismatch";
+  }
+  EXPECT_EQ(res.final_precision, res.rungs.back().precision);
+}
+
+}  // namespace mdlsq::test_support

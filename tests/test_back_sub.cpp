@@ -1,57 +1,24 @@
 // Back substitution: the host reference solver and the tiled accelerated
-// Algorithm 1 — residuals at working precision, agreement between the two,
-// tile-shape sweeps, tally exactness, dry-run equivalence, launch
-// schedule, and failure injection (singular diagonal tile).
+// Algorithm 1, checked by the property-based conformance harness — seeded
+// tile-shape sweeps with a normwise backward-error oracle replace the
+// fixed shape list this file used to enumerate — plus the launch
+// schedule, cost scaling and failure injection (singular diagonal tile).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>
-#include <tuple>
 
 #include "blas/generate.hpp"
 #include "blas/norms.hpp"
 #include "core/back_substitution.hpp"
 #include "core/tiled_back_sub.hpp"
+#include "support/conformance.hpp"
 #include "support/test_support.hpp"
 
 using namespace mdlsq;
+using test_support::check_back_sub_conformance;
 using test_support::make_dev;
-
-namespace {
-template <class T>
-void check_bs(int nt, int n) {
-  const int dim = nt * n;
-  std::mt19937_64 gen(91 + dim);
-  auto u = blas::random_upper_triangular<T>(dim, gen);
-  auto b = blas::random_vector<T>(dim, gen);
-
-  auto dev = make_dev<T>(device::ExecMode::functional);
-  auto x = core::tiled_back_sub(dev, u, b, nt, n);
-  ASSERT_EQ((int)x.size(), dim);
-
-  const double tol =
-      256.0 * dim * blas::real_of_t<T>::eps() *
-      (blas::norm_fro(u).to_double() + 1.0);
-  EXPECT_LE(blas::residual_norm(u, std::span<const T>(x),
-                                std::span<const T>(b))
-                .to_double(),
-            tol);
-
-  // Agreement with the host reference.
-  auto xr = core::back_substitute(u, std::span<const T>(b));
-  for (int i = 0; i < dim; ++i)
-    EXPECT_LE(blas::abs_of(x[i] - xr[i]).to_double(), tol)
-        << "element " << i;
-
-  for (const auto& s : dev.stages())
-    EXPECT_TRUE(s.measured == s.analytic) << "tally mismatch in " << s.name;
-
-  auto dry = make_dev<T>(device::ExecMode::dry_run);
-  core::tiled_back_sub_dry<T>(dry, nt, n);
-  EXPECT_TRUE(dry.analytic_total() == dev.analytic_total());
-  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dev.kernel_ms());
-}
-}  // namespace
+using test_support::shape_sweep;
 
 TEST(HostBackSub, SolvesDiagonal) {
   blas::Matrix<md::dd_real> u(3, 3);
@@ -77,30 +44,32 @@ TEST(HostBackSub, RecoversKnownSolution) {
               1e4 * md::qd_real::eps());
 }
 
-TEST(TiledBackSub, DoubleDouble) { check_bs<md::dd_real>(4, 16); }
-TEST(TiledBackSub, QuadDouble) { check_bs<md::qd_real>(3, 16); }
-TEST(TiledBackSub, OctoDouble) { check_bs<md::od_real>(2, 12); }
-TEST(TiledBackSub, ComplexDoubleDouble) { check_bs<md::dd_complex>(3, 12); }
-TEST(TiledBackSub, ComplexQuadDouble) { check_bs<md::qd_complex>(2, 10); }
-TEST(TiledBackSub, SingleTile) { check_bs<md::dd_real>(1, 24); }
-TEST(TiledBackSub, ManyTinyTiles) { check_bs<md::dd_real>(12, 4); }
-
-// Equal-dimension tile-shape sweep (the paper's Table 8 structure).
-class TiledBsShape : public ::testing::TestWithParam<std::tuple<int, int>> {};
-
-TEST_P(TiledBsShape, SameSolutionAcrossShapes) {
-  const auto [nt, n] = GetParam();
-  check_bs<md::dd_real>(nt, n);
+TEST(TiledBackSubConformance, SweepDoubleDouble) {
+  for (const auto& c : shape_sweep(0xb341, 6, 12, 5))
+    check_back_sub_conformance<md::dd_real>(c);
 }
-
-INSTANTIATE_TEST_SUITE_P(Shapes, TiledBsShape,
-                         ::testing::Values(std::tuple{8, 6}, std::tuple{6, 8},
-                                           std::tuple{4, 12}, std::tuple{3, 16},
-                                           std::tuple{2, 24}, std::tuple{1, 48}),
-                         [](const auto& info) {
-                           return std::to_string(std::get<0>(info.param)) +
-                                  "x" + std::to_string(std::get<1>(info.param));
-                         });
+TEST(TiledBackSubConformance, SweepQuadDouble) {
+  for (const auto& c : shape_sweep(0xb342, 4))
+    check_back_sub_conformance<md::qd_real>(c);
+}
+TEST(TiledBackSubConformance, SweepOctoDouble) {
+  for (const auto& c : shape_sweep(0xb343, 3, 8, 2))
+    check_back_sub_conformance<md::od_real>(c);
+}
+TEST(TiledBackSubConformance, SweepComplexDoubleDouble) {
+  for (const auto& c : shape_sweep(0xb344, 4))
+    check_back_sub_conformance<md::dd_complex>(c);
+}
+TEST(TiledBackSubConformance, SweepComplexQuadDouble) {
+  for (const auto& c : shape_sweep(0xb345, 3, 8, 2))
+    check_back_sub_conformance<md::qd_complex>(c);
+}
+// The degenerate tilings stay pinned: one tile spanning the whole system,
+// and many single-entry tiles.
+TEST(TiledBackSubConformance, SingleTileAndUnitTile) {
+  check_back_sub_conformance<md::dd_real>({24, 24, 24, 17});
+  check_back_sub_conformance<md::dd_real>({12, 12, 1, 18});
+}
 
 TEST(TiledBackSub, StageInventory) {
   auto dev = make_dev<md::dd_real>(device::ExecMode::dry_run);

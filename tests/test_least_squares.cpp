@@ -1,7 +1,9 @@
 // End-to-end least squares: the device pipeline (blocked QR + Q^H b +
-// tiled back substitution) against the host baseline, the normal-equations
-// optimality condition A^H (b - A x) = 0, overdetermined and square
-// systems, real and complex, and the QR-vs-BS time split of Table 11.
+// tiled back substitution) checked by the property-based conformance
+// harness — seeded shape sweeps with the normal-equations optimality
+// oracle A^H (b - A x) = 0, host-baseline agreement, tally exactness and
+// dry-run equivalence replace the fixed dimensions this file used to
+// enumerate — plus the QR-vs-BS time split of Table 11.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -10,54 +12,34 @@
 #include "blas/norms.hpp"
 #include "core/back_substitution.hpp"
 #include "core/least_squares.hpp"
+#include "support/conformance.hpp"
 #include "support/test_support.hpp"
 
 using namespace mdlsq;
-using test_support::expect_stage_tallies_exact;
+using test_support::check_lsq_conformance;
 using test_support::make_dev;
-using test_support::optimality;
+using test_support::shape_sweep;
 
-namespace {
-template <class T>
-void check_lsq(int m, int c, int tile) {
-  std::mt19937_64 gen(101 + m + c);
-  auto a = blas::random_matrix<T>(m, c, gen);
-  auto b = blas::random_vector<T>(m, gen);
-  auto dev = make_dev<T>(device::ExecMode::functional);
-  auto res = core::least_squares(dev, a, b, tile);
-  ASSERT_EQ((int)res.x.size(), c);
-
-  const double tol = 1e4 * m * blas::real_of_t<T>::eps();
-  EXPECT_LE(optimality(a, res.x, b), tol);
-
-  // Agreement with the host baseline.
-  auto xh = core::least_squares_host(a, std::span<const T>(b));
-  for (int i = 0; i < c; ++i)
-    EXPECT_LE(blas::abs_of(res.x[i] - xh[i]).to_double(), tol);
-
-  // Tally exactness end to end.
-  expect_stage_tallies_exact(dev);
-
-  // Dry run prices the identical pipeline.
-  auto dry = make_dev<T>(device::ExecMode::dry_run);
-  auto dres = core::least_squares_dry<T>(dry, m, c, tile);
-  EXPECT_TRUE(dry.analytic_total() == dev.analytic_total());
-  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dev.kernel_ms());
-  EXPECT_DOUBLE_EQ(dres.qr_kernel_ms, res.qr_kernel_ms);
-  EXPECT_DOUBLE_EQ(dres.bs_kernel_ms, res.bs_kernel_ms);
+TEST(LeastSquaresConformance, SweepDoubleDouble) {
+  for (const auto& c : shape_sweep(0xa231, 6, 12, 4, 24))
+    check_lsq_conformance<md::dd_real>(c);
 }
-}  // namespace
-
-TEST(LeastSquares, SquareDoubleDouble) { check_lsq<md::dd_real>(48, 48, 16); }
-TEST(LeastSquares, SquareQuadDouble) { check_lsq<md::qd_real>(32, 32, 16); }
-TEST(LeastSquares, SquareOctoDouble) { check_lsq<md::od_real>(24, 24, 12); }
-TEST(LeastSquares, OverdeterminedDoubleDouble) {
-  check_lsq<md::dd_real>(80, 32, 16);
+TEST(LeastSquaresConformance, SweepQuadDouble) {
+  for (const auto& c : shape_sweep(0xa232, 4))
+    check_lsq_conformance<md::qd_real>(c);
 }
-TEST(LeastSquares, OverdeterminedComplex) {
-  check_lsq<md::dd_complex>(48, 24, 12);
+TEST(LeastSquaresConformance, SweepOctoDouble) {
+  for (const auto& c : shape_sweep(0xa233, 3, 8, 2, 8))
+    check_lsq_conformance<md::od_real>(c);
 }
-TEST(LeastSquares, ComplexQuadDouble) { check_lsq<md::qd_complex>(24, 24, 12); }
+TEST(LeastSquaresConformance, SweepComplexDoubleDouble) {
+  for (const auto& c : shape_sweep(0xa234, 4))
+    check_lsq_conformance<md::dd_complex>(c);
+}
+TEST(LeastSquaresConformance, SweepComplexQuadDouble) {
+  for (const auto& c : shape_sweep(0xa235, 3, 8, 2, 8))
+    check_lsq_conformance<md::qd_complex>(c);
+}
 
 TEST(LeastSquares, ExactlyConsistentSystemHasZeroResidual) {
   // b in range(A): the residual itself must vanish at working precision.

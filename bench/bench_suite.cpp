@@ -1,0 +1,239 @@
+// The unified perf-trajectory benchmark: sequential vs threaded
+// functional runs of the blocked QR, the tiled back substitution and the
+// full least-squares pipeline, across d2/d4/d8, on the V100 device model.
+// Emits BENCH_suite.json (argv[1], default ./BENCH_suite.json; argv[2]
+// overrides the threaded width, default 4) — THE artifact CI tracks:
+// tools/check_bench.py gates every push against bench/baseline.json.
+//
+// Two kinds of numbers per case (DESIGN.md §5-§6):
+//   * modeled_kernel_ms — the device model's price of the launch
+//     schedule.  Deterministic and machine-independent, so the CI gate
+//     compares it directly against the baseline.
+//   * seq/par wall ms — real host wall-clock of the functional run at
+//     parallelism 1 and N.  Machine-dependent, so the gate tracks only
+//     their RATIO (the threading speedup), which is comparable across
+//     hosts with the same core budget.
+// The binary itself fails only on correctness: threaded results must be
+// limb-identical to sequential and every tally measured == declared.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "blas/generate.hpp"
+#include "core/least_squares.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace mdlsq;
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+struct CaseResult {
+  std::string kind;       // "qr" | "backsub" | "lsq"
+  std::string precision;  // Table 1 row name
+  int rows = 0, cols = 0, tile = 0;
+  double modeled_kernel_ms = 0;
+  double seq_wall_ms = 0, par_wall_ms = 0;
+  bool identical = true;    // threaded limb-identical to sequential
+  bool tally_ok = true;     // measured == analytic on both devices
+  double speedup() const { return par_wall_ms > 0 ? seq_wall_ms / par_wall_ms : 0; }
+};
+
+bool tallies_exact(const device::Device& dev) {
+  for (const auto& s : dev.stages())
+    if (!(s.measured == s.analytic)) return false;
+  return true;
+}
+
+template <class T>
+device::Device make_dev() {
+  return device::Device(device::volta_v100(),
+                        md::Precision(blas::scalar_traits<T>::limbs),
+                        device::ExecMode::functional);
+}
+
+template <class T>
+CaseResult qr_case(int dim, int tile, util::ThreadPool& pool, int width) {
+  std::mt19937_64 gen(0x5eed0 + dim);
+  auto a = blas::random_matrix<T>(dim, dim, gen);
+
+  auto seq = make_dev<T>();
+  const double t0 = now_ms();
+  auto fs = core::blocked_qr(seq, a, tile);
+  const double t1 = now_ms();
+
+  auto par = make_dev<T>();
+  par.set_parallelism(&pool, width);
+  const double t2 = now_ms();
+  auto fp = core::blocked_qr(par, a, tile);
+  const double t3 = now_ms();
+
+  CaseResult r{"qr", md::name_of(seq.precision()), dim, dim, tile,
+               seq.kernel_ms(), t1 - t0, t3 - t2};
+  r.tally_ok = tallies_exact(seq) && tallies_exact(par);
+  for (int i = 0; i < dim && r.identical; ++i)
+    for (int j = 0; j < dim; ++j)
+      if (!blas::bit_identical(fs.r(i, j), fp.r(i, j)) ||
+          !blas::bit_identical(fs.q(i, j), fp.q(i, j))) {
+        r.identical = false;
+        break;
+      }
+  return r;
+}
+
+// A well-conditioned random upper triangular, built directly in O(n^2)
+// (blas::random_upper_triangular runs a dense LU, which would dwarf the
+// timed solve at bench dimensions): random strict upper triangle, and a
+// diagonal bounded away from zero.
+template <class T, class Urbg>
+blas::Matrix<T> bench_triangular(int n, Urbg& gen) {
+  auto u = blas::Matrix<T>(n, n);
+  std::uniform_real_distribution<double> entry(-1.0, 1.0);
+  std::uniform_real_distribution<double> diag(1.0, 2.0);
+  for (int i = 0; i < n; ++i) {
+    u(i, i) = T(entry(gen) < 0 ? -diag(gen) : diag(gen));
+    for (int j = i + 1; j < n; ++j) u(i, j) = T(entry(gen));
+  }
+  return u;
+}
+
+template <class T>
+CaseResult backsub_case(int nt, int tile, util::ThreadPool& pool, int width) {
+  const int dim = nt * tile;
+  std::mt19937_64 gen(0x5eed1 + dim);
+  auto u = bench_triangular<T>(dim, gen);
+  auto b = blas::random_vector<T>(dim, gen);
+
+  auto seq = make_dev<T>();
+  const double t0 = now_ms();
+  auto xs = core::tiled_back_sub(seq, u, b, nt, tile);
+  const double t1 = now_ms();
+
+  auto par = make_dev<T>();
+  par.set_parallelism(&pool, width);
+  const double t2 = now_ms();
+  auto xp = core::tiled_back_sub(par, u, b, nt, tile);
+  const double t3 = now_ms();
+
+  CaseResult r{"backsub", md::name_of(seq.precision()), dim, dim, tile,
+               seq.kernel_ms(), t1 - t0, t3 - t2};
+  r.tally_ok = tallies_exact(seq) && tallies_exact(par);
+  for (int i = 0; i < dim; ++i)
+    if (!blas::bit_identical(xs[std::size_t(i)], xp[std::size_t(i)])) {
+      r.identical = false;
+      break;
+    }
+  return r;
+}
+
+template <class T>
+CaseResult lsq_case(int rows, int cols, int tile, util::ThreadPool& pool,
+                    int width) {
+  std::mt19937_64 gen(0x5eed2 + rows);
+  auto a = blas::random_matrix<T>(rows, cols, gen);
+  auto b = blas::random_vector<T>(rows, gen);
+
+  auto seq = make_dev<T>();
+  const double t0 = now_ms();
+  auto rs = core::least_squares(seq, a, b, tile);
+  const double t1 = now_ms();
+
+  auto par = make_dev<T>();
+  par.set_parallelism(&pool, width);
+  const double t2 = now_ms();
+  auto rp = core::least_squares(par, a, b, tile);
+  const double t3 = now_ms();
+
+  CaseResult r{"lsq", md::name_of(seq.precision()), rows, cols, tile,
+               seq.kernel_ms(), t1 - t0, t3 - t2};
+  r.tally_ok = tallies_exact(seq) && tallies_exact(par);
+  for (int j = 0; j < cols; ++j)
+    if (!blas::bit_identical(rs.x[std::size_t(j)], rp.x[std::size_t(j)])) {
+      r.identical = false;
+      break;
+    }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_suite.json";
+  const int width = argc > 2 ? std::atoi(argv[2]) : 4;
+  util::ThreadPool pool(width - 1);  // the caller is the width-th lane
+
+  std::vector<CaseResult> cases;
+  // The sweep: per precision one QR, one back substitution, one full
+  // least-squares solve, sized so the d8 QR (the acceptance case) does
+  // enough per-task work for the threading to matter.
+  cases.push_back(qr_case<md::dd_real>(96, 16, pool, width));
+  cases.push_back(qr_case<md::qd_real>(80, 16, pool, width));
+  cases.push_back(qr_case<md::od_real>(64, 16, pool, width));
+  cases.push_back(backsub_case<md::dd_real>(64, 16, pool, width));
+  cases.push_back(backsub_case<md::qd_real>(48, 16, pool, width));
+  cases.push_back(backsub_case<md::od_real>(32, 16, pool, width));
+  cases.push_back(lsq_case<md::dd_real>(96, 64, 16, pool, width));
+  cases.push_back(lsq_case<md::qd_real>(80, 48, 16, pool, width));
+  cases.push_back(lsq_case<md::od_real>(64, 32, 16, pool, width));
+
+  bench::header("sequential vs threaded execution engine (V100 model)");
+  std::printf("threads: %d (hardware_concurrency %u)\n\n", width,
+              std::thread::hardware_concurrency());
+  util::Table t({"kind", "prec", "rows", "cols", "tile", "modeled ms",
+                 "seq wall ms", "par wall ms", "speedup", "identical"});
+  for (const auto& c : cases)
+    t.add_row({c.kind, c.precision, std::to_string(c.rows),
+               std::to_string(c.cols), std::to_string(c.tile),
+               util::fmt2(c.modeled_kernel_ms), util::fmt2(c.seq_wall_ms),
+               util::fmt2(c.par_wall_ms), util::fmt2(c.speedup()),
+               c.identical && c.tally_ok ? "yes" : "NO"});
+  t.print();
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"suite\",\"device\":\"%s\",\"threads\":%d,"
+               "\"hardware_concurrency\":%u,\"cases\":[",
+               device::volta_v100().name.c_str(), width,
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    std::fprintf(f,
+                 "%s{\"kind\":\"%s\",\"precision\":\"%s\",\"rows\":%d,"
+                 "\"cols\":%d,\"tile\":%d,\"modeled_kernel_ms\":%.6f,"
+                 "\"seq_wall_ms\":%.3f,\"par_wall_ms\":%.3f,"
+                 "\"speedup\":%.3f,\"bit_identical\":%s,"
+                 "\"tally_conserved\":%s}",
+                 i ? "," : "", c.kind.c_str(), c.precision.c_str(), c.rows,
+                 c.cols, c.tile, c.modeled_kernel_ms, c.seq_wall_ms,
+                 c.par_wall_ms, c.speedup(), c.identical ? "true" : "false",
+                 c.tally_ok ? "true" : "false");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+
+  // Correctness gate: bit-identity and tally conservation are hard
+  // failures everywhere.  Speedup is recorded, not asserted — the CI gate
+  // (tools/check_bench.py) compares it against the committed baseline.
+  for (const auto& c : cases)
+    if (!c.identical || !c.tally_ok) {
+      std::printf("UNEXPECTED: threaded run diverged on %s %s\n",
+                  c.kind.c_str(), c.precision.c_str());
+      return 1;
+    }
+  return 0;
+}

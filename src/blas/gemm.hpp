@@ -1,6 +1,16 @@
 // Level-2/3 reference BLAS: matrix-vector and matrix-matrix products,
 // with plain and adjoint operand forms, over multiple-double scalars.
 // These are the host baselines the accelerated kernels are tested against.
+//
+// The column-blocked kernel of the parallel execution engine lives here
+// too: gemm_block computes one output block of a product through element
+// accessors, so the same code path serves host Matrix (operator()) and
+// the staged device containers (get/set).  blocked_qr.hpp partitions its
+// aggregated WY trailing updates — the (I - V T V^H)-style products of
+// the paper's formulas (14)/(15) — into per-task calls of gemm_block, one
+// contiguous block per task (col_blocks), which is what makes every
+// task's reduction order fixed and the threaded factors bit-identical to
+// the sequential ones (DESIGN.md §5).
 #pragma once
 
 #include <cassert>
@@ -10,16 +20,51 @@
 
 namespace mdlsq::blas {
 
+// A contiguous half-open index range [begin, end) owned by one task.
+struct BlockRange {
+  int begin = 0;
+  int end = 0;
+  int size() const noexcept { return end - begin; }
+};
+
+// Partitions [0, n) into min(nblocks, n) contiguous near-equal ranges
+// (the first n % nblocks ranges are one longer).  The partition depends
+// only on (n, nblocks), never on thread scheduling.
+inline int block_count(int n, int nblocks) noexcept {
+  return nblocks < n ? (nblocks < 1 ? 1 : nblocks) : (n > 0 ? n : 0);
+}
+inline BlockRange block_range(int n, int nblocks, int t) noexcept {
+  const int k = block_count(n, nblocks);
+  assert(k > 0 && t >= 0 && t < k);
+  const int base = n / k, extra = n % k;
+  const int begin = t * base + (t < extra ? t : extra);
+  return {begin, begin + base + (t < extra ? 1 : 0)};
+}
+
+// C[r0:r1, c0:c1] = sum_{k in [k0,k1)} A(i,k) B(k,j), written through
+// `out(i, j, value)`.  Each output element's reduction runs wholly inside
+// this call in ascending k order, so a partition of the output into
+// blocks computes bit-identical values in any execution order.
+template <class T, class AAt, class BAt, class Out>
+void gemm_block(int r0, int r1, int c0, int c1, int k0, int k1, AAt&& a,
+                BAt&& b, Out&& out) {
+  for (int i = r0; i < r1; ++i)
+    for (int j = c0; j < c1; ++j) {
+      T s{};
+      for (int k = k0; k < k1; ++k) s += a(i, k) * b(k, j);
+      out(i, j, s);
+    }
+}
+
 // y = A x
 template <class T>
 Vector<T> gemv(const Matrix<T>& a, std::span<const T> x) {
   assert(static_cast<size_t>(a.cols()) == x.size());
   Vector<T> y(a.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    T s{};
-    for (int j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
-    y[i] = s;
-  }
+  gemm_block<T>(
+      0, a.rows(), 0, 1, 0, a.cols(), [&](int i, int k) { return a(i, k); },
+      [&](int k, int) { return x[static_cast<std::size_t>(k)]; },
+      [&](int i, int, const T& s) { y[static_cast<std::size_t>(i)] = s; });
   return y;
 }
 
@@ -28,11 +73,11 @@ template <class T>
 Vector<T> gemv_adjoint(const Matrix<T>& a, std::span<const T> x) {
   assert(static_cast<size_t>(a.rows()) == x.size());
   Vector<T> y(a.cols());
-  for (int j = 0; j < a.cols(); ++j) {
-    T s{};
-    for (int i = 0; i < a.rows(); ++i) s += conj_of(a(i, j)) * x[i];
-    y[j] = s;
-  }
+  gemm_block<T>(
+      0, a.cols(), 0, 1, 0, a.rows(),
+      [&](int j, int k) { return conj_of(a(k, j)); },
+      [&](int k, int) { return x[static_cast<std::size_t>(k)]; },
+      [&](int j, int, const T& s) { y[static_cast<std::size_t>(j)] = s; });
   return y;
 }
 
@@ -41,12 +86,11 @@ template <class T>
 Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b) {
   assert(a.cols() == b.rows());
   Matrix<T> c(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i)
-    for (int j = 0; j < b.cols(); ++j) {
-      T s{};
-      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
-      c(i, j) = s;
-    }
+  gemm_block<T>(
+      0, a.rows(), 0, b.cols(), 0, a.cols(),
+      [&](int i, int k) { return a(i, k); },
+      [&](int k, int j) { return b(k, j); },
+      [&](int i, int j, const T& s) { c(i, j) = s; });
   return c;
 }
 
@@ -55,12 +99,11 @@ template <class T>
 Matrix<T> gemm_adjoint_a(const Matrix<T>& a, const Matrix<T>& b) {
   assert(a.rows() == b.rows());
   Matrix<T> c(a.cols(), b.cols());
-  for (int i = 0; i < a.cols(); ++i)
-    for (int j = 0; j < b.cols(); ++j) {
-      T s{};
-      for (int k = 0; k < a.rows(); ++k) s += conj_of(a(k, i)) * b(k, j);
-      c(i, j) = s;
-    }
+  gemm_block<T>(
+      0, a.cols(), 0, b.cols(), 0, a.rows(),
+      [&](int i, int k) { return conj_of(a(k, i)); },
+      [&](int k, int j) { return b(k, j); },
+      [&](int i, int j, const T& s) { c(i, j) = s; });
   return c;
 }
 
@@ -69,12 +112,11 @@ template <class T>
 Matrix<T> gemm_adjoint_b(const Matrix<T>& a, const Matrix<T>& b) {
   assert(a.cols() == b.cols());
   Matrix<T> c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i)
-    for (int j = 0; j < b.rows(); ++j) {
-      T s{};
-      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * conj_of(b(j, k));
-      c(i, j) = s;
-    }
+  gemm_block<T>(
+      0, a.rows(), 0, b.rows(), 0, a.cols(),
+      [&](int i, int k) { return a(i, k); },
+      [&](int k, int j) { return conj_of(b(j, k)); },
+      [&](int i, int j, const T& s) { c(i, j) = s; });
   return c;
 }
 

@@ -4,6 +4,8 @@
 // for reals and the unit phase x/|x| for complex numbers (1 at zero).
 #pragma once
 
+#include <cstring>
+
 #include "md/complex_md.hpp"
 #include "md/functions.hpp"
 #include "md/mdreal.hpp"
@@ -106,6 +108,23 @@ md::mdreal<N> scale2(const md::mdreal<N>& x, int e) {
 template <int N>
 md::mdcomplex<N> scale2(const md::mdcomplex<N>& z, int e) {
   return {ldexp(z.re, e), ldexp(z.im, e)};
+}
+
+// Bitwise limb equality — NaN == NaN, -0.0 != 0.0 — the comparison the
+// execution-engine determinism contract is stated in (DESIGN.md §5):
+// tests and the bench suite assert threaded results are limb-for-limb
+// identical to sequential ones, including non-finite values.
+template <int N>
+bool bit_identical(const md::mdreal<N>& a, const md::mdreal<N>& b) {
+  for (int s = 0; s < N; ++s) {
+    const double x = a.limb(s), y = b.limb(s);
+    if (std::memcmp(&x, &y, sizeof x) != 0) return false;
+  }
+  return true;
+}
+template <int N>
+bool bit_identical(const md::mdcomplex<N>& a, const md::mdcomplex<N>& b) {
+  return bit_identical(a.re, b.re) && bit_identical(a.im, b.im);
 }
 
 }  // namespace mdlsq::blas

@@ -73,6 +73,14 @@ struct AdaptiveOptions {
   double floor_ulps = 64.0;
   // Refinement sweeps per post-start rung assumed by the dry-run pricing.
   int dry_refine_iters = 2;
+  // Host execution engine (DESIGN.md §5): tiled kernel bodies of every
+  // rung's Device run as up to `parallelism` concurrent tasks.  When
+  // tile_pool is null and parallelism > 1 the driver owns a pool for the
+  // call; batched_lsq passes its shared tile pool instead, so batch-level
+  // and tile-level parallelism compose without oversubscription.  Results
+  // are bit-identical at every width.
+  int parallelism = 1;
+  util::ThreadPool* tile_pool = nullptr;
 };
 
 template <int NH>
@@ -305,6 +313,7 @@ void run_rung(const device::DeviceSpec& spec,
 
   if (refactor) {
     device::Device dev(spec, md::Precision(P), device::ExecMode::functional);
+    dev.set_parallelism(opt.tile_pool, opt.parallelism);
     auto sol = least_squares(dev, ap, bp, opt.tile);
     blas::TriCondEstimate est;
     launch_cond_est(dev, c, opt.tile, 8 * std::int64_t(P),
@@ -325,6 +334,7 @@ void run_rung(const device::DeviceSpec& spec,
   } else {
     device::Device dev(spec, md::Precision(st.factor_limbs),
                        device::ExecMode::functional);
+    dev.set_parallelism(opt.tile_pool, opt.parallelism);
     rs.device_precision = md::Precision(st.factor_limbs);
     rs.cond_estimate = st.cond_est;
     switch (st.factor_limbs) {
@@ -371,6 +381,16 @@ AdaptiveLsqResult<NH> adaptive_least_squares(
   const int maxl = opt.max_limbs > 0 ? std::min(opt.max_limbs, NH) : NH;
   assert(opt.start_limbs <= maxl);
 
+  // A standalone call with parallelism but no shared pool owns one for
+  // the ladder's duration (batched_lsq hands every problem its shared
+  // tile pool instead).
+  AdaptiveOptions aopt = opt;
+  std::optional<util::ThreadPool> owned_pool;
+  if (aopt.parallelism > 1 && aopt.tile_pool == nullptr) {
+    owned_pool.emplace(aopt.parallelism - 1);
+    aopt.tile_pool = &*owned_pool;
+  }
+
   AdaptiveLsqResult<NH> out;
   detail::AdaptiveState<NH> st;
   st.x.assign(a.cols(), md::mdreal<NH>{});
@@ -381,8 +401,8 @@ AdaptiveLsqResult<NH> adaptive_least_squares(
   auto rung = [&](auto tag) {
     constexpr int P = decltype(tag)::limbs;
     if constexpr (P <= NH) {
-      if (P >= opt.start_limbs && P <= maxl && !out.converged)
-        detail::run_rung<P, NH>(spec, a, b, st, opt, out);
+      if (P >= aopt.start_limbs && P <= maxl && !out.converged)
+        detail::run_rung<P, NH>(spec, a, b, st, aopt, out);
     }
   };
   rung(md::mdreal<1>{});

@@ -26,8 +26,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -117,6 +119,13 @@ struct BatchedLsqOptions {
   ShardPolicy policy = ShardPolicy::round_robin;
   device::ExecMode mode = device::ExecMode::functional;
   int threads = 0;  // host threads; 0 means one per pool slot
+  // Tile-level parallelism per problem (DESIGN.md §5): every problem's
+  // Device runs its tiled kernel bodies as up to `parallelism` concurrent
+  // tasks — the shard's own thread plus helpers from ONE tile pool shared
+  // by all shards, sized so batch-level and tile-level parallelism
+  // compose without oversubscribing the host (tile_pool_helpers below).
+  // Results are bit-identical at every width.
+  int parallelism = 1;
   BatchPipeline pipeline = BatchPipeline::direct;
   // Ladder parameters of the adaptive pipeline (its tile is overridden by
   // `tile` above so both pipelines schedule identically).  Real scalar
@@ -153,11 +162,29 @@ struct BatchedLsqResult {
 namespace detail {
 
 // The batched adaptive options: the ladder inherits the batch tile so
-// both pipelines schedule identically.
-inline AdaptiveOptions ladder_options(const BatchedLsqOptions& opt) noexcept {
+// both pipelines schedule identically, plus the batch's tile-level
+// execution engine.
+inline AdaptiveOptions ladder_options(const BatchedLsqOptions& opt,
+                                      util::ThreadPool* tile_pool) noexcept {
   AdaptiveOptions a = opt.adaptive;
   a.tile = opt.tile;
+  a.parallelism = opt.parallelism;
+  a.tile_pool = tile_pool;
   return a;
+}
+
+// Helper threads of the shared tile pool: each of the `shard_width`
+// batch workers wants parallelism-1 helpers (it participates in its own
+// tiled launches), but the pool never grows past what the hardware has
+// left after the shard workers — while always granting at least one
+// problem its full requested width, so the parallel code path is
+// exercised even on small hosts.
+inline int tile_pool_helpers(int shard_width, int parallelism) noexcept {
+  if (parallelism <= 1) return 0;
+  const int want = shard_width * (parallelism - 1);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int budget = std::max(parallelism - 1, hw - shard_width);
+  return std::min(want, budget);
 }
 
 // The adaptive ladder runs on real scalars only.  The check must survive
@@ -182,11 +209,12 @@ template <class T>
 BatchedProblemResult<T> solve_one_adaptive(const device::DeviceSpec& spec,
                                            int slot, int idx,
                                            const BatchProblem<T>& p,
-                                           const BatchedLsqOptions& opt) {
+                                           const BatchedLsqOptions& opt,
+                                           util::ThreadPool* tile_pool) {
   static_assert(!blas::is_complex_v<T>,
                 "the adaptive pipeline runs on real problems");
   constexpr int NH = blas::scalar_traits<T>::limbs;
-  const AdaptiveOptions aopt = ladder_options(opt);
+  const AdaptiveOptions aopt = ladder_options(opt, tile_pool);
 
   BatchedProblemResult<T> r;
   r.problem = idx;
@@ -218,16 +246,18 @@ BatchedProblemResult<T> solve_one_adaptive(const device::DeviceSpec& spec,
 template <class T>
 BatchedProblemResult<T> solve_one(const device::DeviceSpec& spec, int slot,
                                   int idx, const BatchProblem<T>& p,
-                                  const BatchedLsqOptions& opt) {
+                                  const BatchedLsqOptions& opt,
+                                  util::ThreadPool* tile_pool) {
   if (opt.pipeline == BatchPipeline::adaptive) {
     if constexpr (!blas::is_complex_v<T>) {
-      return solve_one_adaptive<T>(spec, slot, idx, p, opt);
+      return solve_one_adaptive<T>(spec, slot, idx, p, opt, tile_pool);
     } else {
       assert(!"the adaptive pipeline requires real problems");
     }
   }
   const auto prec = md::Precision(blas::scalar_traits<T>::limbs);
   device::Device dev(spec, prec, opt.mode);
+  dev.set_parallelism(tile_pool, opt.parallelism);
 
   BatchedProblemResult<T> r;
   r.problem = idx;
@@ -267,7 +297,7 @@ double modeled_wall_ms(const device::DeviceSpec& spec, const BatchProblem<T>& p,
   if (opt.pipeline == BatchPipeline::adaptive) {
     if constexpr (!blas::is_complex_v<T>) {
       return adaptive_least_squares_dry<T>(spec, p.m(), p.c(),
-                                           ladder_options(opt))
+                                           ladder_options(opt, nullptr))
           .wall_ms();
     } else {
       assert(!"the adaptive pipeline requires real problems");
@@ -358,13 +388,22 @@ BatchedLsqResult<T> batched_least_squares(
 
   {
     const int width = opt.threads > 0 ? std::min(opt.threads, d) : d;
+    // One tile pool shared by every shard (DESIGN.md §5): shard workers
+    // participate in their own tiled launches and borrow helpers from
+    // this pool, so total host threads stay bounded by
+    // width + tile_pool_helpers() regardless of how the two knobs are
+    // combined.
+    const int helpers = detail::tile_pool_helpers(width, opt.parallelism);
+    std::optional<util::ThreadPool> tile_pool;
+    if (helpers > 0) tile_pool.emplace(helpers);
     util::ThreadPool workers(width);
     for (int s = 0; s < d; ++s) {
       workers.submit([&, s] {
         for (int i : out.shards[static_cast<std::size_t>(s)])
           out.problems[static_cast<std::size_t>(i)] = detail::solve_one<T>(
               *pool.slots[static_cast<std::size_t>(s)], s, i,
-              problems[static_cast<std::size_t>(i)], opt);
+              problems[static_cast<std::size_t>(i)], opt,
+              tile_pool ? &*tile_pool : nullptr);
       });
     }
     workers.wait();

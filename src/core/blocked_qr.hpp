@@ -15,6 +15,20 @@
 //     "R+YWTC" adds — formula (15).
 // Stage names match the row legend of the paper's Tables 3-6.
 //
+// Host execution engine (DESIGN.md §5).  The schedule above is a task
+// graph: each column of the panel factorization is a short sequential
+// chain (its reflector feeds the next column), while everything after the
+// panel — the W accumulation rows and the aggregated WY trailing updates
+// of stages 3/4, the (I - V T V^H)-style products of formulas (14)/(15) —
+// decomposes into independent per-tile tasks that own disjoint row or
+// column blocks of their output.  launch_tiled() runs those tasks on the
+// Device's util::ThreadPool (dev.set_parallelism), with each launch a
+// join point, exactly the stream-ordered dependency structure a GPU
+// enforces between kernels.  Every output element's reduction runs
+// wholly inside one task in fixed ascending order (blas::gemm_block), so
+// results are bit-identical at every parallelism width, and per-task
+// tallies sum to the same declared counts.
+//
 // Every launch declares its exact analytic op tally (tally_rules.hpp);
 // the functional bodies are written so the measured tally matches it
 // exactly, which the test suite asserts.  In dry-run mode only the
@@ -26,6 +40,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
 #include "blas/vector_ops.hpp"
 #include "core/tally_rules.hpp"
@@ -70,6 +85,8 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
   const bool fn = dev.functional();
   assert(!fn || a != nullptr);
   const std::int64_t esz = 8 * traits::doubles_per_element;
+  // Tile tasks per launch: each task owns one contiguous output block.
+  const int par = dev.parallelism();
 
   device::Staged2D<T> R, Q, Y, W, YWT, SCR;
   if (fn) {
@@ -91,11 +108,14 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
     const int Lk = M - r0;
 
     // ---- stage 1: panel factorization, column by column ----------------
+    // Each column's reflector feeds the next column's data, so the chain
+    // is sequential; only the trailing-panel updates (b)/(c) fan out.
     for (int l = 0; l < n; ++l) {
       const int cg = r0 + l;   // global pivot column
       const int L = M - cg;    // active column height
 
-      {  // (a) Householder vector and beta
+      {  // (a) Householder vector and beta — one task: the column norm
+         // reduction must run in one fixed order.
         const OpTally ops = (O::abs2() + real_add()) * (2 * L) + real_sqrt() +
                             O::sign() + O::mul_real() + O::add() + real_div();
         const OpTally serial =
@@ -135,36 +155,41 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
 
       const int P = n - l - 1;  // trailing columns within the panel
       if (P > 0) {
-        {  // (b) w = beta (v^H R_panel)
+        {  // (b) w = beta (v^H R_panel) — one task per column block, each
+           // column's dot reduced start-to-end inside its task
           const OpTally ops =
               O::fma() * (std::int64_t(P) * L) + O::mul_real() * P;
           // Multi-block sum reduction: each block reduces an n-strip of the
           // column serially before the cross-block combine.
           const OpTally serial =
               O::fma() * std::min(L, n) + O::add() * 6 + O::mul_real();
-          dev.launch(stage::betaRTv, P, n, ops,
-                     (std::int64_t(P) * L + L + P) * esz, serial, [&] {
-                       for (int t = 0; t < P; ++t) {
-                         const int col = cg + 1 + t;
-                         T s{};
-                         for (int i = 0; i < L; ++i)
-                           s += blas::conj_of(v[i]) * R.get(cg + i, col);
-                         w[t] = s * betas[l];
-                       }
-                     });
+          dev.launch_tiled(
+              stage::betaRTv, P, n, ops, (std::int64_t(P) * L + L + P) * esz,
+              serial, blas::block_count(P, par), [&](int task) {
+                const auto blk = blas::block_range(P, par, task);
+                for (int c = blk.begin; c < blk.end; ++c) {
+                  const int col = cg + 1 + c;
+                  T s{};
+                  for (int i = 0; i < L; ++i)
+                    s += blas::conj_of(v[i]) * R.get(cg + i, col);
+                  w[c] = s * betas[l];
+                }
+              });
         }
-        {  // (c) R_panel -= v w
+        {  // (c) R_panel -= v w — disjoint column blocks of R
           const OpTally ops = O::fms() * (std::int64_t(P) * L);
           const OpTally serial = O::fms() * ceil_div(L, n);
-          dev.launch(stage::update_R, P, n, ops,
-                     (2 * std::int64_t(P) * L + L + P) * esz, serial, [&] {
-                       for (int t = 0; t < P; ++t) {
-                         const int col = cg + 1 + t;
-                         for (int i = 0; i < L; ++i)
-                           R.set(cg + i, col,
-                                 R.get(cg + i, col) - v[i] * w[t]);
-                       }
-                     });
+          dev.launch_tiled(
+              stage::update_R, P, n, ops,
+              (2 * std::int64_t(P) * L + L + P) * esz, serial,
+              blas::block_count(P, par), [&](int task) {
+                const auto blk = blas::block_range(P, par, task);
+                for (int c = blk.begin; c < blk.end; ++c) {
+                  const int col = cg + 1 + c;
+                  for (int i = 0; i < L; ++i)
+                    R.set(cg + i, col, R.get(cg + i, col) - v[i] * w[c]);
+                }
+              });
         }
       }
     }
@@ -173,29 +198,35 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
     for (int l = 0; l < n; ++l) {
       if (l == 0) {
         const OpTally ops = O::mul_real() * Lk;
-        dev.launch(stage::compute_W, ceil_div(Lk, n), n, ops,
-                   2 * std::int64_t(Lk) * esz,
-                   O::mul_real() * ceil_div(Lk, n), [&] {
-                     const RT nb = -betas[0];
-                     for (int i = 0; i < Lk; ++i)
-                       W.set(r0 + i, 0, Y.get(r0 + i, 0) * nb);
-                   });
+        dev.launch_tiled(stage::compute_W, ceil_div(Lk, n), n, ops,
+                         2 * std::int64_t(Lk) * esz,
+                         O::mul_real() * ceil_div(Lk, n),
+                         blas::block_count(Lk, par), [&](int task) {
+                           const auto blk = blas::block_range(Lk, par, task);
+                           const RT nb = -betas[0];
+                           for (int i = blk.begin; i < blk.end; ++i)
+                             W.set(r0 + i, 0, Y.get(r0 + i, 0) * nb);
+                         });
       } else {
-        {  // u = Y[:,0:l]^H v_l  (multi-block matrix-vector + reduction)
+        {  // u = Y[:,0:l]^H v_l  (multi-block matrix-vector + reduction);
+           // each u_j is one whole dot, so tasks split over j only
           const OpTally ops = O::fma() * (std::int64_t(l) * Lk);
           const OpTally serial = O::fma() * ceil_div(Lk, n) + O::add() * 6;
-          dev.launch(stage::compute_W, l, n, ops,
-                     ((std::int64_t(l) + 1) * Lk + l) * esz, serial, [&] {
-                       for (int j = 0; j < l; ++j) {
-                         T s{};
-                         for (int i = 0; i < Lk; ++i)
-                           s += blas::conj_of(Y.get(r0 + i, j)) *
-                                Y.get(r0 + i, l);
-                         u[j] = s;
-                       }
-                     });
+          dev.launch_tiled(
+              stage::compute_W, l, n, ops,
+              ((std::int64_t(l) + 1) * Lk + l) * esz, serial,
+              blas::block_count(l, par), [&](int task) {
+                const auto blk = blas::block_range(l, par, task);
+                for (int j = blk.begin; j < blk.end; ++j) {
+                  T s{};
+                  for (int i = 0; i < Lk; ++i)
+                    s += blas::conj_of(Y.get(r0 + i, j)) * Y.get(r0 + i, l);
+                  u[j] = s;
+                }
+              });
         }
-        {  // z = -beta (v + W u)
+        {  // z = -beta (v + W u) — row blocks; each row reads the frozen
+           // columns W[:,0:l) and writes only W[row, l]
           const OpTally ops = O::fma() * (std::int64_t(l) * Lk) +
                               (O::add() + O::mul_real()) * Lk;
           // Each thread owns ceil(Lk/n) rows of the W u product and walks
@@ -203,16 +234,18 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
           const OpTally serial =
               O::fma() * (std::int64_t(l) * ceil_div(Lk, n)) + O::add() +
               O::mul_real();
-          dev.launch(stage::compute_W, ceil_div(Lk, n), n, ops,
-                     ((std::int64_t(l) + 2) * Lk + l) * esz, serial, [&] {
-                       const RT nb = -betas[l];
-                       for (int i = 0; i < Lk; ++i) {
-                         T s{};
-                         for (int j = 0; j < l; ++j)
-                           s += W.get(r0 + i, j) * u[j];
-                         W.set(r0 + i, l, (Y.get(r0 + i, l) + s) * nb);
-                       }
-                     });
+          dev.launch_tiled(
+              stage::compute_W, ceil_div(Lk, n), n, ops,
+              ((std::int64_t(l) + 2) * Lk + l) * esz, serial,
+              blas::block_count(Lk, par), [&](int task) {
+                const auto blk = blas::block_range(Lk, par, task);
+                const RT nb = -betas[l];
+                for (int i = blk.begin; i < blk.end; ++i) {
+                  T s{};
+                  for (int j = 0; j < l; ++j) s += W.get(r0 + i, j) * u[j];
+                  W.set(r0 + i, l, (Y.get(r0 + i, l) + s) * nb);
+                }
+              });
         }
       }
     }
@@ -223,68 +256,74 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
         for (int i = 0; i < M; ++i)
           for (int j = 0; j < M; ++j) YWT.set(i, j, T{});
       const OpTally ops = O::fma() * (std::int64_t(Lk) * Lk * n);
-      dev.launch(stage::YWT, Lk * ceil_div(Lk, n), n, ops,
-                 (2 * std::int64_t(Lk) * n + std::int64_t(Lk) * Lk) * esz,
-                 O::fma() * n, [&] {
-                   for (int i = 0; i < Lk; ++i)
-                     for (int j = 0; j < Lk; ++j) {
-                       T s{};
-                       for (int t = 0; t < n; ++t)
-                         s += Y.get(r0 + i, t) *
-                              blas::conj_of(W.get(r0 + j, t));
-                       YWT.set(r0 + i, r0 + j, s);
-                     }
-                 });
+      dev.launch_tiled(
+          stage::YWT, Lk * ceil_div(Lk, n), n, ops,
+          (2 * std::int64_t(Lk) * n + std::int64_t(Lk) * Lk) * esz,
+          O::fma() * n, blas::block_count(Lk, par), [&](int task) {
+            const auto blk = blas::block_range(Lk, par, task);
+            blas::gemm_block<T>(
+                0, Lk, blk.begin, blk.end, 0, n,
+                [&](int i, int t) { return Y.get(r0 + i, t); },
+                [&](int t, int j) { return blas::conj_of(W.get(r0 + j, t)); },
+                [&](int i, int j, const T& s) { YWT.set(r0 + i, r0 + j, s); });
+          });
     }
     {  // QWY = Q (YWT)^H — the full M-by-M product of the paper's kernel
       const OpTally ops = O::fma() * (std::int64_t(M) * M * M);
-      dev.launch(stage::QWYT, ceil_div(M * M, n), n, ops,
-                 3 * std::int64_t(M) * M * esz, O::fma() * M, [&] {
-                   for (int i = 0; i < M; ++i)
-                     for (int j = 0; j < M; ++j) {
-                       T s{};
-                       for (int t = 0; t < M; ++t)
-                         s += Q.get(i, t) * blas::conj_of(YWT.get(j, t));
-                       SCR.set(i, j, s);
-                     }
-                 });
+      dev.launch_tiled(
+          stage::QWYT, ceil_div(M * M, n), n, ops, 3 * std::int64_t(M) * M * esz,
+          O::fma() * M, blas::block_count(M, par), [&](int task) {
+            const auto blk = blas::block_range(M, par, task);
+            blas::gemm_block<T>(
+                blk.begin, blk.end, 0, M, 0, M,
+                [&](int i, int t) { return Q.get(i, t); },
+                [&](int t, int j) { return blas::conj_of(YWT.get(j, t)); },
+                [&](int i, int j, const T& s) { SCR.set(i, j, s); });
+          });
     }
     {  // Q += QWY
       const OpTally ops = O::add() * (std::int64_t(M) * M);
-      dev.launch(stage::Q_plus_QWY, ceil_div(M * M, n), n, ops,
-                 3 * std::int64_t(M) * M * esz, O::add(), [&] {
-                   for (int i = 0; i < M; ++i)
-                     for (int j = 0; j < M; ++j)
-                       Q.set(i, j, Q.get(i, j) + SCR.get(i, j));
-                 });
+      dev.launch_tiled(stage::Q_plus_QWY, ceil_div(M * M, n), n, ops,
+                       3 * std::int64_t(M) * M * esz, O::add(),
+                       blas::block_count(M, par), [&](int task) {
+                         const auto blk = blas::block_range(M, par, task);
+                         for (int i = blk.begin; i < blk.end; ++i)
+                           for (int j = 0; j < M; ++j)
+                             Q.set(i, j, Q.get(i, j) + SCR.get(i, j));
+                       });
     }
 
     // ---- stage 4: update the trailing columns of R (formula (15)) -------
     const int ce = r0 + n;
     const int tc = C - ce;  // trailing columns
     if (tc > 0) {
-      {  // YWTC = YWT C over all M rows (rows above r0 contribute zeros)
+      {  // YWTC = YWT C over all M rows (rows above r0 contribute zeros);
+         // one task per trailing-column block — the per-tile trailing
+         // update of the task graph
         const OpTally ops = O::fma() * (std::int64_t(M) * M * tc);
-        dev.launch(stage::YWTC, ceil_div(M * tc, n), n, ops,
-                   (std::int64_t(M) * M + 2 * std::int64_t(M) * tc) * esz,
-                   O::fma() * M, [&] {
-                     for (int i = 0; i < M; ++i)
-                       for (int j = 0; j < tc; ++j) {
-                         T s{};
-                         for (int t = 0; t < M; ++t)
-                           s += YWT.get(i, t) * R.get(t, ce + j);
-                         SCR.set(i, j, s);
-                       }
-                   });
+        dev.launch_tiled(
+            stage::YWTC, ceil_div(M * tc, n), n, ops,
+            (std::int64_t(M) * M + 2 * std::int64_t(M) * tc) * esz,
+            O::fma() * M, blas::block_count(tc, par), [&](int task) {
+              const auto blk = blas::block_range(tc, par, task);
+              blas::gemm_block<T>(
+                  0, M, blk.begin, blk.end, 0, M,
+                  [&](int i, int t) { return YWT.get(i, t); },
+                  [&](int t, int j) { return R.get(t, ce + j); },
+                  [&](int i, int j, const T& s) { SCR.set(i, j, s); });
+            });
       }
       {  // R += YWTC
         const OpTally ops = O::add() * (std::int64_t(M) * tc);
-        dev.launch(stage::R_plus_YWTC, ceil_div(M * tc, n), n, ops,
-                   3 * std::int64_t(M) * tc * esz, O::add(), [&] {
-                     for (int i = 0; i < M; ++i)
-                       for (int j = 0; j < tc; ++j)
-                         R.set(i, ce + j, R.get(i, ce + j) + SCR.get(i, j));
-                   });
+        dev.launch_tiled(stage::R_plus_YWTC, ceil_div(M * tc, n), n, ops,
+                         3 * std::int64_t(M) * tc * esz, O::add(),
+                         blas::block_count(tc, par), [&](int task) {
+                           const auto blk = blas::block_range(tc, par, task);
+                           for (int i = 0; i < M; ++i)
+                             for (int j = blk.begin; j < blk.end; ++j)
+                               R.set(i, ce + j,
+                                     R.get(i, ce + j) + SCR.get(i, j));
+                         });
       }
     }
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "blas/gemm.hpp"
 #include "core/blocked_qr.hpp"
 #include "core/tiled_back_sub.hpp"
 
@@ -44,20 +45,23 @@ LeastSquaresResult<T> least_squares_run(device::Device& dev,
   BlockedQrOutput<T> f = blocked_qr_run<T>(dev, a, M, C, tile);
   out.qr_kernel_ms = dev.kernel_ms();
 
-  // y = (Q^H b)[0:C], one block per output entry.
+  // y = (Q^H b)[0:C], one block per output entry; each y_j is one whole
+  // dot product, so the launch fans out over column blocks (DESIGN.md §5).
   blas::Vector<T> y(C);
   {
     const md::OpTally ops = O::fma() * (std::int64_t(M) * C);
     const md::OpTally serial = O::fma() * ceil_div(M, tile) + O::add() * 6;
-    dev.launch(stage::qhb, C, tile, ops,
-               (std::int64_t(M) * C + M + C) * esz, serial, [&] {
-                 for (int j = 0; j < C; ++j) {
-                   T s{};
-                   for (int i = 0; i < M; ++i)
-                     s += blas::conj_of(f.q(i, j)) * (*b)[i];
-                   y[j] = s;
-                 }
-               });
+    dev.launch_tiled(
+        stage::qhb, C, tile, ops, (std::int64_t(M) * C + M + C) * esz, serial,
+        blas::block_count(C, dev.parallelism()), [&](int task) {
+          const auto blk = blas::block_range(C, dev.parallelism(), task);
+          for (int j = blk.begin; j < blk.end; ++j) {
+            T s{};
+            for (int i = 0; i < M; ++i)
+              s += blas::conj_of(f.q(i, j)) * (*b)[i];
+            y[j] = s;
+          }
+        });
   }
 
   if (fn) {

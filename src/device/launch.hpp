@@ -13,6 +13,15 @@
 // modeled times are mode-independent; the test suite asserts that the
 // measured and analytic tallies agree exactly, which pins the analytic
 // formulas to the real algorithm.
+//
+// Functional kernels may additionally execute for real on multiple host
+// threads: launch_tiled() partitions a kernel body into independent tasks
+// and spreads them over a util::ThreadPool attached with
+// set_parallelism().  The declared launch bookkeeping (blocks, analytic
+// tally, bytes, modeled time) is identical to launch() — the knob changes
+// only how the host spends wall-clock on the body — and per-task measured
+// tallies are summed in task-index order, so measured == analytic and
+// bit-identical results hold at every parallelism width (DESIGN.md §5).
 #pragma once
 
 #include <cassert>
@@ -24,6 +33,7 @@
 #include "device/device_spec.hpp"
 #include "device/timing_model.hpp"
 #include "md/op_counts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mdlsq::device {
 
@@ -69,6 +79,17 @@ class Device {
   ExecMode mode() const noexcept { return mode_; }
   bool functional() const noexcept { return mode_ == ExecMode::functional; }
 
+  // Attaches the host execution engine: tiled kernel bodies run as up to
+  // `width` concurrent tasks — the calling thread plus at most width-1
+  // workers of `pool`.  Null pool or width <= 1 keeps bodies sequential.
+  // The knob never touches the modeled schedule, only host wall-clock.
+  void set_parallelism(util::ThreadPool* pool, int width) noexcept {
+    pool_ = (pool != nullptr && width > 1) ? pool : nullptr;
+    width_ = pool_ != nullptr ? width : 1;
+  }
+  int parallelism() const noexcept { return width_; }
+  util::ThreadPool* task_pool() const noexcept { return pool_; }
+
   // Launches one kernel.
   //   stage    row label (paper table legend) this launch aggregates under
   //   blocks, threads   launch configuration
@@ -81,16 +102,37 @@ class Device {
   void launch(std::string_view stage, int blocks, int threads,
               const md::OpTally& ops, std::int64_t bytes,
               const md::OpTally& serial, F&& body) {
-    StageStats& st = slot(stage);
-    st.launches += 1;
-    st.blocks += blocks;
-    st.analytic += ops;
-    st.bytes += bytes;
-    st.kernel_ms += kernel_time_ms(*spec_, prec_, ops, bytes, blocks, threads,
-                                   serial, tp_);
+    StageStats& st = declare(stage, blocks, threads, ops, bytes, serial);
     if (mode_ == ExecMode::functional) {
       md::ScopedTally scope(st.measured);
       body();
+    }
+  }
+
+  // Launches one kernel whose body is partitioned into `ntasks`
+  // independent tasks: body(t) for t in [0, ntasks).  Tasks must write
+  // disjoint state (the caller's tiling guarantees it), so any execution
+  // order yields bit-identical memory effects; per-task measured tallies
+  // are accumulated separately and summed in task-index order, keeping
+  // the stage's measured tally exactly equal to the sequential run.
+  // The declared bookkeeping is identical to launch() — one launch, same
+  // blocks/ops/bytes/modeled time — at every parallelism width.
+  template <class F>
+  void launch_tiled(std::string_view stage, int blocks, int threads,
+                    const md::OpTally& ops, std::int64_t bytes,
+                    const md::OpTally& serial, int ntasks, F&& body) {
+    StageStats& st = declare(stage, blocks, threads, ops, bytes, serial);
+    if (mode_ != ExecMode::functional) return;
+    if (pool_ != nullptr && width_ > 1 && ntasks > 1) {
+      std::vector<md::OpTally> per_task(static_cast<std::size_t>(ntasks));
+      util::run_tasks(pool_, width_, ntasks, [&](int t) {
+        md::ScopedTally scope(per_task[static_cast<std::size_t>(t)]);
+        body(t);
+      });
+      for (const md::OpTally& t : per_task) st.measured += t;
+    } else {
+      md::ScopedTally scope(st.measured);
+      for (int t = 0; t < ntasks; ++t) body(t);
     }
   }
 
@@ -152,6 +194,19 @@ class Device {
   }
 
  private:
+  StageStats& declare(std::string_view stage, int blocks, int threads,
+                      const md::OpTally& ops, std::int64_t bytes,
+                      const md::OpTally& serial) {
+    StageStats& st = slot(stage);
+    st.launches += 1;
+    st.blocks += blocks;
+    st.analytic += ops;
+    st.bytes += bytes;
+    st.kernel_ms += kernel_time_ms(*spec_, prec_, ops, bytes, blocks, threads,
+                                   serial, tp_);
+    return st;
+  }
+
   StageStats& slot(std::string_view name) {
     for (auto& s : stages_)
       if (s.name == name) return s;
@@ -164,6 +219,8 @@ class Device {
   md::Precision prec_;
   ExecMode mode_;
   TimingParams tp_;
+  util::ThreadPool* pool_ = nullptr;  // tile-task engine (not owned)
+  int width_ = 1;                     // tasks per tiled launch, incl. caller
   std::vector<StageStats> stages_;
   std::int64_t transfer_bytes_ = 0;
 };

@@ -15,7 +15,6 @@
 //     hosts with the same core budget.
 // The binary itself fails only on correctness: threaded results must be
 // limb-identical to sequential and every tally measured == declared.
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
@@ -28,15 +27,9 @@
 #include "util/thread_pool.hpp"
 
 using namespace mdlsq;
+using bench::now_ms;
 
 namespace {
-
-double now_ms() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double, std::milli>(
-             clock::now().time_since_epoch())
-      .count();
-}
 
 struct CaseResult {
   std::string kind;       // "qr" | "backsub" | "lsq"

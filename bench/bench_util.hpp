@@ -9,6 +9,7 @@
 // arXiv:2110.08375v2 for side-by-side comparison.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,6 +23,16 @@
 namespace bench {
 
 using namespace mdlsq;
+
+// Host wall-clock for the seq-vs-threaded ratios of the perf-trajectory
+// suites (bench_suite, bench_path_tracking) — one clock, so the ratios
+// feeding the same check_bench.py gate cannot diverge.
+inline double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
 
 // The paper's QR table row order (Tables 3-6).
 inline const std::vector<std::string>& qr_stage_order() {

@@ -1,27 +1,23 @@
 // Power-series path tracking — the paper's motivating application
-// (Section 1.1): a robust path tracker for polynomial homotopies computes
+// (Section 1.1), now served by the first-class tracking subsystem
+// (src/path/): a robust path tracker for polynomial homotopies computes
 // Taylor coefficients of the solution path x(t) by solving a lower
-// triangular BLOCK TOEPLITZ system whose diagonal blocks are the Jacobian
+// triangular BLOCK TOEPLITZ system whose diagonal block is the Jacobian
 // (Bliss & Verschelde; Telen, Van Barel & Verschelde).  Round-off
 // propagates order by order, so the leading coefficients must be computed
-// more accurately than hardware doubles allow — this example measures
-// exactly that effect.
+// more accurately than hardware doubles allow — the first table measures
+// exactly that effect, order by order, across precisions.
 //
-// Setup: A(t) = A0 + A1 t with random well-conditioned A0, and a known
-// analytic path x*(t) with coefficients x*_k = v / 2^k.  The right-hand
-// side b(t) = A(t) x*(t) is formed exactly in high precision; then the
-// block-Toeplitz recursion
-//
-//     A0 x_k = b_k - A1 x_{k-1},      k = 0, 1, ..., ORDER
-//
-// is solved with the multiple-double least-squares solver at each order,
-// and the recovered coefficients are compared with x*_k.
+// Setup: A(t) = (1 - t/2) B with a random well-conditioned B, and
+// b = B v constant — so the analytic path is x*(t) = v / (1 - t/2), with
+// Taylor coefficients x*_k = v / 2^k at t = 0 (exact powers of two) and a
+// true pole at t = 2 that the tracker's step-size control must see.
+// After the coefficient table, the full predictor-corrector tracker runs
+// the path to t = 1, where x*(1) = 2 v.
 #include <cstdio>
-#include <random>
 
-#include "blas/generate.hpp"
-#include "blas/norms.hpp"
-#include "core/least_squares.hpp"
+#include "path/generate.hpp"
+#include "path/tracker.hpp"
 
 using namespace mdlsq;
 
@@ -30,54 +26,33 @@ constexpr int kDim = 16;    // block size (number of equations/variables)
 constexpr int kOrder = 24;  // series truncation order
 constexpr int kTile = 8;
 
-// Runs the recursion in precision T; returns the max relative coefficient
-// error per order.
+// The shared rational-path family (path/generate.hpp) at precision T;
+// same seed for every precision, so the tables compare like against like.
 template <class T>
-std::vector<double> run() {
-  std::mt19937_64 gen(77);
-  auto a0 = blas::random_matrix<T>(kDim, kDim, gen);
-  auto a1 = blas::random_matrix<T>(kDim, kDim, gen);
-  auto v = blas::random_vector<T>(kDim, gen);
+path::Homotopy<T> make_homotopy(blas::Vector<T>* v_out) {
+  return path::rational_path_homotopy<T>(kDim, 2.0, 77, v_out);
+}
 
-  // Exact-ish series x*_k = v / 2^k (exact scaling by powers of two).
-  std::vector<blas::Vector<T>> xstar(kOrder + 1);
-  for (int k = 0; k <= kOrder; ++k) {
-    xstar[k] = v;
-    for (auto& e : xstar[k]) e = blas::scale2(e, -k);
-  }
-  // b_k = A0 x*_k + A1 x*_{k-1}.
-  std::vector<blas::Vector<T>> bk(kOrder + 1);
-  for (int k = 0; k <= kOrder; ++k) {
-    bk[k] = blas::gemv(a0, std::span<const T>(xstar[k]));
-    if (k > 0) {
-      auto t = blas::gemv(a1, std::span<const T>(xstar[k - 1]));
-      for (int i = 0; i < kDim; ++i) bk[k][i] += t[i];
-    }
-  }
-
-  // Toeplitz recursion, one least-squares solve per order.
+// Device-priced Taylor coefficients at t = 0 in precision T; returns the
+// max relative coefficient error per order against x*_k = v / 2^k.
+template <class T>
+std::vector<double> coefficient_errors() {
+  blas::Vector<T> v;
+  auto h = make_homotopy<T>(&v);
   device::Device dev(device::volta_v100(),
                      md::Precision(blas::scalar_traits<T>::limbs),
                      device::ExecMode::functional);
+  auto xs = path::taylor_series<T>(dev, h, 0.0, kOrder, kTile);
   std::vector<double> err(kOrder + 1);
-  blas::Vector<T> xprev;
   for (int k = 0; k <= kOrder; ++k) {
-    blas::Vector<T> rhs = bk[k];
-    if (k > 0) {
-      auto t = blas::gemv(a1, std::span<const T>(xprev));
-      for (int i = 0; i < kDim; ++i) rhs[i] -= t[i];
-    }
-    dev.reset();
-    auto sol = core::least_squares(dev, a0, rhs, kTile);
     double worst = 0.0;
     for (int i = 0; i < kDim; ++i) {
-      const double denom =
-          std::max(1e-300, std::fabs(xstar[k][i].to_double()));
-      worst = std::max(
-          worst, std::fabs((sol.x[i] - xstar[k][i]).to_double()) / denom);
+      const T want = blas::scale2(v[i], -k);
+      const double denom = std::max(1e-300, std::fabs(want.to_double()));
+      worst = std::max(worst,
+                       std::fabs((xs[k][i] - want).to_double()) / denom);
     }
     err[k] = worst;
-    xprev = std::move(sol.x);
   }
   return err;
 }
@@ -88,9 +63,9 @@ int main() {
       "power-series path tracking: block Toeplitz recursion, block %d, "
       "order %d\nmax relative coefficient error by order:\n\n",
       kDim, kOrder);
-  auto e1 = run<md::mdreal<1>>();
-  auto e2 = run<md::dd_real>();
-  auto e4 = run<md::qd_real>();
+  auto e1 = coefficient_errors<md::mdreal<1>>();
+  auto e2 = coefficient_errors<md::dd_real>();
+  auto e4 = coefficient_errors<md::qd_real>();
   std::printf("%6s %12s %12s %12s\n", "order", "double", "dd", "qd");
   for (int k = 0; k <= kOrder; k += 4)
     std::printf("%6d %12.2e %12.2e %12.2e\n", k, e1[k], e2[k], e4[k]);
@@ -98,12 +73,56 @@ int main() {
       "\nround-off accumulates with the order in hardware doubles, while\n"
       "double doubles and quad doubles keep the leading coefficients at\n"
       "their respective working precision — the reason the path tracker\n"
-      "of the paper's Section 1.1 needs multiple double arithmetic.\n");
+      "of the paper's Section 1.1 needs multiple double arithmetic.\n\n");
   // quick sanity: qd must be at least 20 orders of magnitude better than
   // double at the final order.
   if (e4[kOrder] > e1[kOrder] * 1e-20 && e1[kOrder] > 0) {
     std::printf("UNEXPECTED: qd did not improve on double\n");
     return 1;
   }
+
+  // The full predictor-corrector tracker to t = 1 (x*(1) = 2 v): the
+  // pole-radius step control walks toward the pole at t = 2 and the
+  // acceptance test keeps the benign path on the d2 rung throughout.
+  blas::Vector<md::qd_real> v;
+  auto h = make_homotopy<md::qd_real>(&v);
+  path::TrackOptions opt;
+  opt.tile = kTile;
+  opt.tol = 1e-20;
+  auto res = path::track<4>(device::volta_v100(), h, opt);
+
+  double worst = 0.0, xnorm = 1.0;
+  for (int i = 0; i < kDim; ++i) {
+    xnorm = std::max(xnorm, std::fabs(v[i].to_double()));
+    worst = std::max(
+        worst,
+        std::fabs((res.x[i] - v[i] * md::qd_real(2.0)).to_double()));
+  }
+  std::printf(
+      "tracked to t=%.3f in %zu steps (first pole-radius estimate %.3f, "
+      "true pole at 2),\nfinal precision %s, max error vs x*(1)=2v: "
+      "%.2e, modeled kernel %.3f ms\n",
+      res.t_reached, res.steps.size(),
+      res.steps.empty() ? 0.0 : res.steps[0].pole_radius,
+      md::name_of(res.final_precision), worst, res.kernel_ms());
+
+  if (!res.converged) {
+    std::printf("UNEXPECTED: tracker did not reach t = 1\n");
+    return 1;
+  }
+  if (worst > 1e3 * opt.tol * xnorm) {
+    std::printf("UNEXPECTED: tracked endpoint misses the analytic path\n");
+    return 1;
+  }
+  if (res.final_precision != md::Precision::d2) {
+    std::printf("UNEXPECTED: benign path escalated beyond double double\n");
+    return 1;
+  }
+  for (const auto& s : res.steps)
+    for (const auto& r : s.rungs)
+      if (!(r.measured == r.analytic)) {
+        std::printf("UNEXPECTED: rung tally mismatch\n");
+        return 1;
+      }
   return 0;
 }

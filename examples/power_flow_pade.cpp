@@ -113,7 +113,31 @@ int main() {
       "working precision recovers more of the theoretical accuracy, which\n"
       "is why HELM implementations lean on multiprecision arithmetic.\n",
       kM, kM);
-  (void)ed2;
-  (void)ed4;
-  return (ed8 < ed1) ? 0 : 1;
+
+  // Output checks, registered with the smoke test (CMake fails the test
+  // on any UNEXPECTED line): the precision ladder must improve the
+  // evaluation monotonically until the approximation-theory floor, and
+  // the Pade evaluation must beat the truncated Taylor sum outright.
+  int rc = 0;
+  if (!(ed8 < ed1)) {
+    std::printf("UNEXPECTED: 8d no better than double\n");
+    rc = 1;
+  }
+  if (!(ed2 < ed1 * 1e-10)) {
+    std::printf("UNEXPECTED: 2d did not gain >= 10 digits over double\n");
+    rc = 1;
+  }
+  if (!(ed4 < ed2 * 1e-3)) {
+    std::printf("UNEXPECTED: 4d did not improve on 2d\n");
+    rc = 1;
+  }
+  if (!(ed8 < ed4 * 10.0)) {  // both sit on the theory floor
+    std::printf("UNEXPECTED: 8d regressed past the approximation floor\n");
+    rc = 1;
+  }
+  if (!(ed2 < taylor_error_at_one(2 * kM + 1))) {
+    std::printf("UNEXPECTED: Pade no better than the Taylor sum\n");
+    rc = 1;
+  }
+  return rc;
 }

@@ -13,48 +13,100 @@
 // costs one convolution update plus one triangular solve.  Round-off in
 // the convolution accumulates with the order, which is exactly the error
 // amplification that motivates multiple double precision in the paper.
+//
+// Two execution paths:
+//   * host — the original reference solver (householder_qr + host loops),
+//     real or complex, used by the tests and the host baselines;
+//   * device — the factorization runs through the blocked pipeline of
+//     core/blocked_qr.hpp and every series order issues priced launches
+//     (a tiled convolution update plus the factor-reusing correction
+//     solve of core/refinement.hpp), so the path tracker's schedule is
+//     walked identically in functional and dry-run modes.
+//
+// The cached QR factors are exposed (factors()), so a Newton corrector
+// can keep refining against them instead of refactorizing per step —
+// the tracker's escalation currency (src/path/tracker.hpp).
+//
+// Input validation follows the thrown-error convention of core/: invalid
+// shapes raise std::invalid_argument (asserts would vanish under NDEBUG
+// while this class sits on the service path of the tracking subsystem).
 #pragma once
 
-#include <cassert>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "blas/gemm.hpp"
 #include "core/back_substitution.hpp"
+#include "core/blocked_qr.hpp"
 #include "core/householder.hpp"
+#include "core/refinement.hpp"
 
 namespace mdlsq::core {
+
+namespace stage {
+inline constexpr const char* toeplitz_conv = "toeplitz conv";
+}
 
 template <class T>
 class BlockToeplitzSolver {
  public:
   // blocks[j] is T_j (all m-by-m); blocks[0] must be nonsingular.
+  // Host factorization (reference path).
   explicit BlockToeplitzSolver(std::vector<blas::Matrix<T>> blocks)
       : blocks_(std::move(blocks)) {
-    assert(!blocks_.empty());
-    const int m = blocks_[0].rows();
-    for (const auto& blk : blocks_) {
-      assert(blk.rows() == m && blk.cols() == m);
-      (void)blk;
-    }
+    validate_blocks();
     qr_ = householder_qr(blocks_[0]);
-    r_top_ = blas::Matrix<T>(m, m);
-    for (int i = 0; i < m; ++i)
-      for (int j = i; j < m; ++j) r_top_(i, j) = qr_.r(i, j);
+    build_r_top();
+  }
+
+  // Device-priced factorization: T_0 goes through the blocked QR pipeline
+  // on `dev` (functional mode), so the O(m^3) step is launched, tallied
+  // and timed like every other kernel.  `tile` must divide the block
+  // dimension (the pipeline's tiling contract).
+  BlockToeplitzSolver(device::Device& dev, std::vector<blas::Matrix<T>> blocks,
+                      int tile)
+      : blocks_(std::move(blocks)) {
+    validate_blocks();
+    if (!dev.functional())
+      throw std::invalid_argument(
+          "mdlsq: BlockToeplitzSolver device factorization requires a "
+          "functional device (price dry schedules with factor_dry)");
+    validate_tile(block_dim(), tile);
+    auto out = blocked_qr_run<T>(dev, &blocks_[0], block_dim(), block_dim(),
+                                 tile);
+    qr_ = QrFactors<T>{std::move(out.q), std::move(out.r)};
+    build_r_top();
+  }
+
+  // Dry-run price of the device factorization for an m-by-m diagonal block.
+  static void factor_dry(device::Device& dev, int m, int tile) {
+    validate_tile(m, tile);
+    blocked_qr_dry<T>(dev, m, m, tile);
   }
 
   int block_dim() const noexcept { return blocks_[0].rows(); }
   int bandwidth() const noexcept { return static_cast<int>(blocks_.size()); }
+  const std::vector<blas::Matrix<T>>& blocks() const noexcept {
+    return blocks_;
+  }
+
+  // The cached factorization of T_0, exposed so correction solves can
+  // reuse it (core/refinement.hpp's correction_solve_run, the adaptive
+  // ladder, the path tracker's Newton corrector).
+  const QrFactors<T>& factors() const noexcept { return qr_; }
 
   // Solves for the series coefficients x_0..x_K given rhs b_0..b_K
   // (K + 1 = rhs.size(); blocks beyond the stored bandwidth are zero).
   std::vector<blas::Vector<T>> solve(
       const std::vector<blas::Vector<T>>& rhs) const {
+    validate_rhs(rhs);
     const int m = block_dim();
     std::vector<blas::Vector<T>> x;
     x.reserve(rhs.size());
     for (std::size_t k = 0; k < rhs.size(); ++k) {
-      assert(static_cast<int>(rhs[k].size()) == m);
       blas::Vector<T> r = rhs[k];
       // Convolution update: r -= sum_{j=1..min(k,band-1)} T_j x_{k-j}.
       for (std::size_t j = 1; j < blocks_.size() && j <= k; ++j) {
@@ -69,6 +121,10 @@ class BlockToeplitzSolver {
   // One triangular solve with the cached factorization of T_0.
   blas::Vector<T> solve_diag(const blas::Vector<T>& r) const {
     const int m = block_dim();
+    if (static_cast<int>(r.size()) != m)
+      throw std::invalid_argument(
+          "mdlsq: BlockToeplitzSolver rhs length must equal the block "
+          "dimension");
     blas::Vector<T> y(m);
     for (int j = 0; j < m; ++j) {
       T s{};
@@ -78,7 +134,129 @@ class BlockToeplitzSolver {
     return back_substitute(r_top_, std::span<const T>(y));
   }
 
+  // Device-priced diagonal solve on the cached factors: exactly the
+  // factor-reusing correction solve of the refinement machinery, issued
+  // as the "refine Q^H r" + "refine back sub" launches.
+  blas::Vector<T> solve_diag_on(device::Device& dev, std::span<const T> r,
+                                int tile) const {
+    if (static_cast<int>(r.size()) != block_dim())
+      throw std::invalid_argument(
+          "mdlsq: BlockToeplitzSolver rhs length must equal the block "
+          "dimension");
+    return correction_solve_run<T>(dev, &qr_, r, block_dim(), block_dim(),
+                                   tile);
+  }
+
+  // Device-priced series solve: per order one tiled convolution launch
+  // (orders beyond the bandwidth convolve only the stored blocks) plus
+  // one factor-reusing diagonal solve.  Functional mode; the dry price of
+  // the identical schedule is solve_series_dry.
+  std::vector<blas::Vector<T>> solve_on(
+      device::Device& dev, const std::vector<blas::Vector<T>>& rhs,
+      int tile) const {
+    validate_rhs(rhs);
+    return solve_series_run(dev, this, &rhs, block_dim(), bandwidth(),
+                            static_cast<int>(rhs.size()), tile);
+  }
+
+  // Dry-run price of a series solve of `orders` coefficients with block
+  // dimension m and the given bandwidth.
+  static void solve_series_dry(device::Device& dev, int m, int band,
+                               int orders, int tile) {
+    solve_series_run(dev, nullptr, nullptr, m, band, orders, tile);
+  }
+
  private:
+  // Shared driver of the device-priced series solve; `self`/`rhs` are
+  // null in dry-run mode, where only the dimensions walk the schedule.
+  static std::vector<blas::Vector<T>> solve_series_run(
+      device::Device& dev, const BlockToeplitzSolver* self,
+      const std::vector<blas::Vector<T>>* rhs, int m, int band, int orders,
+      int tile) {
+    using O = ops_of<T>;
+    const bool fn = dev.functional();
+    if (fn && (self == nullptr || rhs == nullptr))
+      throw std::invalid_argument(
+          "mdlsq: functional series solve needs data");
+    const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+    const int par = dev.parallelism();
+
+    std::vector<blas::Vector<T>> x;
+    if (fn) x.reserve(static_cast<std::size_t>(orders));
+    blas::Vector<T> r;
+    for (int k = 0; k < orders; ++k) {
+      const int j_max = std::min(k, band - 1);
+      if (fn) r = (*rhs)[static_cast<std::size_t>(k)];
+      if (j_max > 0) {
+        // r -= sum_{j=1..j_max} T_j x_{k-j}: each task owns a contiguous
+        // row block of r; every row's dot products reduce in fixed
+        // ascending order inside one task (bit-identical at any width).
+        const std::int64_t jm = j_max;
+        const md::OpTally ops =
+            O::fma() * (jm * m * m) + O::sub() * (jm * m);
+        const md::OpTally serial =
+            O::fma() * (jm * ceil_div(m, tile)) + O::sub() * jm;
+        dev.launch_tiled(
+            stage::toeplitz_conv, m, tile, ops,
+            (jm * std::int64_t(m) * m + 2 * std::int64_t(m)) * esz, serial,
+            blas::block_count(m, par), [&](int task) {
+              const auto blk = blas::block_range(m, par, task);
+              for (int i = blk.begin; i < blk.end; ++i) {
+                for (int j = 1; j <= j_max; ++j) {
+                  const auto& tj = self->blocks_[static_cast<std::size_t>(j)];
+                  const auto& xk = x[static_cast<std::size_t>(k - j)];
+                  T s{};
+                  for (int c = 0; c < m; ++c) s += tj(i, c) * xk[c];
+                  r[i] = r[i] - s;
+                }
+              }
+            });
+      }
+      auto xk = correction_solve_run<T>(
+          dev, fn ? &self->qr_ : nullptr,
+          fn ? std::span<const T>(r) : std::span<const T>{}, m, m, tile);
+      if (fn) x.push_back(std::move(xk));
+    }
+    return x;
+  }
+
+  void validate_blocks() const {
+    if (blocks_.empty())
+      throw std::invalid_argument(
+          "mdlsq: BlockToeplitzSolver needs at least the diagonal block");
+    const int m = blocks_[0].rows();
+    if (m < 1)
+      throw std::invalid_argument(
+          "mdlsq: BlockToeplitzSolver blocks must be nonempty");
+    for (const auto& blk : blocks_)
+      if (blk.rows() != m || blk.cols() != m)
+        throw std::invalid_argument(
+            "mdlsq: BlockToeplitzSolver blocks must all be " +
+            std::to_string(m) + "-by-" + std::to_string(m));
+  }
+
+  static void validate_tile(int m, int tile) {
+    if (tile < 1 || m % tile != 0)
+      throw std::invalid_argument(
+          "mdlsq: BlockToeplitzSolver tile must divide the block "
+          "dimension");
+  }
+
+  void validate_rhs(const std::vector<blas::Vector<T>>& rhs) const {
+    for (const auto& b : rhs)
+      if (static_cast<int>(b.size()) != block_dim())
+        throw std::invalid_argument(
+            "mdlsq: BlockToeplitzSolver rhs length must equal the block "
+            "dimension");
+  }
+
+  void build_r_top() {
+    const int m = block_dim();
+    r_top_ = blas::Matrix<T>(m, m);
+    for (int i = 0; i < m; ++i)
+      for (int j = i; j < m; ++j) r_top_(i, j) = qr_.r(i, j);
+  }
+
   std::vector<blas::Matrix<T>> blocks_;
   QrFactors<T> qr_;
   blas::Matrix<T> r_top_;

@@ -1,0 +1,257 @@
+// Batched multi-device path tracking: B independent homotopy paths
+// sharded over a core::DevicePool and tracked concurrently on a host
+// thread pool — the tracking analogue of core/batched_lsq.hpp, with the
+// same guarantees by the same argument (DESIGN.md §2/§7):
+//
+//   * per-path isolation — every path's steps run against fresh Device
+//     instances on the path's pool slot and share no mutable state, so
+//     batched results are limb-identical to sequential track() calls at
+//     any pool width, sharding policy or thread count;
+//   * exact tally conservation — the batch aggregate equals the sum of
+//     the per-path device tallies (integer counters, summed in path-index
+//     order);
+//   * LPT sharding — the greedy policy prices each path with the
+//     tracker's dry-run schedule (track_dry) per distinct device spec and
+//     assigns longest-first to the least-loaded slot.
+//
+// Tile-level parallelism composes with batch-level parallelism through
+// ONE shared tile pool sized by core::detail::tile_pool_helpers, exactly
+// as in the batched least-squares driver (DESIGN.md §5).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/batched_lsq.hpp"
+#include "path/tracker.hpp"
+#include "util/batch_report.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdlsq::path {
+
+// One path of the batch.  In dry_run mode the homotopy stays empty and
+// only the dimensions drive the modeled schedule.
+template <int NH>
+struct TrackProblem {
+  std::optional<Homotopy<md::mdreal<NH>>> homotopy;
+  int m = 0;       // used when homotopy is empty (dry run)
+  int aterms = 1;
+  int bterms = 1;
+
+  int dim() const noexcept { return homotopy ? homotopy->dim() : m; }
+  int a_terms() const noexcept {
+    return homotopy ? homotopy->a_terms() : aterms;
+  }
+  int b_terms() const noexcept {
+    return homotopy ? homotopy->b_terms() : bterms;
+  }
+
+  static TrackProblem functional(Homotopy<md::mdreal<NH>> h) {
+    TrackProblem p;
+    p.m = h.dim();
+    p.aterms = h.a_terms();
+    p.bterms = h.b_terms();
+    p.homotopy.emplace(std::move(h));
+    return p;
+  }
+  static TrackProblem dry(int m, int aterms, int bterms) {
+    TrackProblem p;
+    p.m = m;
+    p.aterms = aterms;
+    p.bterms = bterms;
+    return p;
+  }
+};
+
+struct BatchedTrackOptions {
+  TrackOptions track;
+  core::ShardPolicy policy = core::ShardPolicy::round_robin;
+  device::ExecMode mode = device::ExecMode::functional;
+  int threads = 0;      // host threads; 0 means one per pool slot
+  int parallelism = 1;  // tile-level width per path (DESIGN.md §5)
+};
+
+template <int NH>
+struct BatchedPathResult {
+  int path = -1;
+  int device = -1;           // pool slot the path was served by
+  TrackResult<NH> result;    // functional mode
+  TrackDryResult dry;        // dry-run mode
+};
+
+template <int NH>
+struct BatchedTrackResult {
+  std::vector<BatchedPathResult<NH>> paths;  // indexed by path id
+  std::vector<std::vector<int>> shards;      // pool slot -> path ids
+  util::BatchReport report;
+};
+
+// Pool-slot assignment without tracking anything; the greedy policy
+// prices each path with the dry-run schedule per distinct slot spec.
+template <int NH>
+std::vector<std::vector<int>> track_shard_assignment(
+    const core::DevicePool& pool,
+    const std::vector<TrackProblem<NH>>& problems,
+    const BatchedTrackOptions& opt) {
+  const int d = pool.size();
+  if (d < 1)
+    throw std::invalid_argument("mdlsq: batched_track needs a nonempty pool");
+  std::vector<std::vector<int>> shards(static_cast<std::size_t>(d));
+
+  if (opt.policy == core::ShardPolicy::round_robin) {
+    for (int i = 0; i < static_cast<int>(problems.size()); ++i)
+      shards[static_cast<std::size_t>(i % d)].push_back(i);
+    return shards;
+  }
+
+  std::vector<std::vector<double>> est(static_cast<std::size_t>(d));
+  for (int s = 0; s < d; ++s) {
+    for (int prior = 0; prior < s; ++prior)
+      if (pool.slots[static_cast<std::size_t>(prior)] ==
+          pool.slots[static_cast<std::size_t>(s)]) {
+        est[static_cast<std::size_t>(s)] = est[static_cast<std::size_t>(prior)];
+        break;
+      }
+    if (est[static_cast<std::size_t>(s)].empty()) {
+      est[static_cast<std::size_t>(s)].resize(problems.size());
+      for (std::size_t i = 0; i < problems.size(); ++i)
+        est[static_cast<std::size_t>(s)][i] =
+            track_dry(*pool.slots[static_cast<std::size_t>(s)],
+                      problems[i].dim(), problems[i].a_terms(),
+                      problems[i].b_terms(), opt.track)
+                .wall_ms;
+    }
+  }
+
+  std::vector<int> order(problems.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return est[0][static_cast<std::size_t>(a)] >
+           est[0][static_cast<std::size_t>(b)];
+  });
+
+  std::vector<double> load(static_cast<std::size_t>(d), 0.0);
+  for (int i : order) {
+    int best = 0;
+    for (int s = 1; s < d; ++s)
+      if (load[static_cast<std::size_t>(s)] +
+              est[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] <
+          load[static_cast<std::size_t>(best)] +
+              est[static_cast<std::size_t>(best)][static_cast<std::size_t>(i)])
+        best = s;
+    shards[static_cast<std::size_t>(best)].push_back(i);
+    load[static_cast<std::size_t>(best)] +=
+        est[static_cast<std::size_t>(best)][static_cast<std::size_t>(i)];
+  }
+  for (auto& s : shards) std::sort(s.begin(), s.end());
+  return shards;
+}
+
+// The batched driver: shard, track every shard in order on one worker
+// (mirroring a device stream), aggregate the batch report with per-path
+// rows.
+template <int NH>
+BatchedTrackResult<NH> batched_track(
+    const core::DevicePool& pool,
+    const std::vector<TrackProblem<NH>>& problems,
+    const BatchedTrackOptions& opt = {}) {
+  const int d = pool.size();
+  if (d < 1)
+    throw std::invalid_argument("mdlsq: batched_track needs a nonempty pool");
+  for (const auto& p : problems)
+    if (opt.mode == device::ExecMode::functional && !p.homotopy)
+      throw std::invalid_argument(
+          "mdlsq: functional batched_track needs homotopies");
+
+  BatchedTrackResult<NH> out;
+  out.shards = track_shard_assignment<NH>(pool, problems, opt);
+  out.paths.resize(problems.size());
+
+  {
+    const int width = opt.threads > 0 ? std::min(opt.threads, d) : d;
+    const int helpers = core::detail::tile_pool_helpers(width, opt.parallelism);
+    std::optional<util::ThreadPool> tile_pool;
+    if (helpers > 0) tile_pool.emplace(helpers);
+    util::ThreadPool workers(width);
+    for (int s = 0; s < d; ++s) {
+      workers.submit([&, s] {
+        for (int i : out.shards[static_cast<std::size_t>(s)]) {
+          const auto& spec = *pool.slots[static_cast<std::size_t>(s)];
+          const auto& p = problems[static_cast<std::size_t>(i)];
+          auto& r = out.paths[static_cast<std::size_t>(i)];
+          r.path = i;
+          r.device = s;
+          if (opt.mode == device::ExecMode::functional) {
+            TrackOptions topt = opt.track;
+            topt.parallelism = opt.parallelism;
+            topt.tile_pool = tile_pool ? &*tile_pool : nullptr;
+            r.result = track<NH>(spec, *p.homotopy, topt);
+          } else {
+            r.dry = track_dry(spec, p.dim(), p.a_terms(), p.b_terms(),
+                              opt.track);
+          }
+        }
+      });
+    }
+    workers.wait();
+  }
+
+  const bool fn = opt.mode == device::ExecMode::functional;
+  util::BatchReport& rep = out.report;
+  rep.precision = md::Precision(NH);
+  rep.policy = core::name_of(opt.policy);
+  rep.pipeline = "tracker";
+  rep.rows.resize(static_cast<std::size_t>(d));
+  for (int s = 0; s < d; ++s) {
+    auto& row = rep.rows[static_cast<std::size_t>(s)];
+    row.device = s;
+    row.name = pool.slots[static_cast<std::size_t>(s)]->name;
+    row.problems = out.shards[static_cast<std::size_t>(s)];
+    for (int i : row.problems) {
+      const auto& pr = out.paths[static_cast<std::size_t>(i)];
+      if (fn) {
+        row.tally += pr.result.device_analytic();
+        row.dp_gflop += pr.result.dp_gflop();
+        row.kernel_ms += pr.result.kernel_ms();
+        row.wall_ms += pr.result.wall_ms();
+      } else {
+        row.tally += pr.dry.analytic;
+        row.dp_gflop += pr.dry.dp_gflop;
+        row.kernel_ms += pr.dry.kernel_ms;
+        row.wall_ms += pr.dry.wall_ms;
+      }
+    }
+    rep.tally += row.tally;
+    rep.dp_gflop_total += row.dp_gflop;
+    rep.kernel_ms += row.kernel_ms;
+    rep.makespan_ms = std::max(rep.makespan_ms, row.wall_ms);
+  }
+
+  // Per-path rows of the report (steps, corrections, reached precision).
+  for (const auto& pr : out.paths) {
+    util::BatchPathRow prow;
+    prow.path = pr.path;
+    prow.device = pr.device;
+    if (fn) {
+      prow.steps = static_cast<int>(pr.result.steps.size());
+      prow.correction_solves = pr.result.correction_solves();
+      prow.final_precision = pr.result.final_precision;
+      prow.converged = pr.result.converged;
+      prow.tally = pr.result.device_analytic();
+      prow.kernel_ms = pr.result.kernel_ms();
+    } else {
+      prow.steps = pr.dry.steps;
+      prow.final_precision = pr.dry.precision;
+      prow.converged = true;
+      prow.tally = pr.dry.analytic;
+      prow.kernel_ms = pr.dry.kernel_ms;
+    }
+    rep.paths.push_back(std::move(prow));
+  }
+  return out;
+}
+
+}  // namespace mdlsq::path

@@ -1,0 +1,81 @@
+// Workload generators of the path-tracking subsystem — the two test
+// families that tests/test_path_tracker.cpp, bench/bench_path_tracking.cpp
+// and examples/path_tracking.cpp all track (one definition, so the bench
+// case, the smoke example and the correctness pins stay the same
+// scenario), in the spirit of blas/generate.hpp.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "blas/generate.hpp"
+#include "path/homotopy.hpp"
+
+namespace mdlsq::path {
+
+// A(t) = (1 - t/rho) B with diagonally dominated random B and b = B v
+// constant: the analytic path is x*(t) = v / (1 - t/rho) — Taylor
+// coefficients v rho^-k at t = 0, a true pole at t = rho that the
+// tracker's step-size control must see, and x(1) = v rho/(rho - 1).
+template <class T>
+Homotopy<T> rational_path_homotopy(int m, double rho, std::uint64_t seed,
+                                   blas::Vector<T>* v_out = nullptr) {
+  std::mt19937_64 gen(seed);
+  auto b0 = blas::random_matrix<T>(m, m, gen);
+  for (int i = 0; i < m; ++i) b0(i, i) += T(4.0);
+  auto v = blas::random_vector<T>(m, gen);
+  blas::Matrix<T> a1(m, m);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j) a1(i, j) = b0(i, j) * T(-1.0 / rho);
+  auto rhs = blas::gemv(b0, std::span<const T>(v));
+  if (v_out) *v_out = v;
+  return Homotopy<T>({std::move(b0), std::move(a1)}, {std::move(rhs)});
+}
+
+// Graded row scaling D = diag(10^{-decades * i/(m-1)}) over a diagonally
+// dominated linear pencil: cond(A(t)) ~ 10^decades along the whole path,
+// while the frozen-Jacobian Newton contraction stays benign (D cancels in
+// A(t1)^{-1}(A(t1) - A(t0))), so only precision — never the step size —
+// limits the corrector.  The analytic path is the linear x*(t) = v0 + t v1
+// (b is quadratic in t); x_end receives x*(1) = v0 + v1.
+template <class T>
+Homotopy<T> graded_stiff_homotopy(int m, double decades, std::uint64_t seed,
+                                  blas::Vector<T>* x_end = nullptr) {
+  if (m < 2)
+    throw std::invalid_argument(
+        "mdlsq: graded_stiff_homotopy needs m >= 2 rows to grade");
+  std::mt19937_64 gen(seed);
+  auto b0r = blas::random_matrix<T>(m, m, gen);
+  auto b1r = blas::random_matrix<T>(m, m, gen);
+  blas::Matrix<T> a0(m, m), a1(m, m);
+  for (int i = 0; i < m; ++i) {
+    const double d = std::pow(10.0, -decades * i / (m - 1));
+    for (int j = 0; j < m; ++j) {
+      T base = b0r(i, j) * T(0.25);
+      if (i == j) base += T(4.0);
+      a0(i, j) = base * T(d);
+      a1(i, j) = b1r(i, j) * T(0.5) * T(d);
+    }
+  }
+  auto v0 = blas::random_vector<T>(m, gen);
+  auto v1 = blas::random_vector<T>(m, gen);
+  auto c0 = blas::gemv(a0, std::span<const T>(v0));
+  auto ct = blas::gemv(a0, std::span<const T>(v1));
+  auto cu = blas::gemv(a1, std::span<const T>(v0));
+  blas::Vector<T> c1(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) c1[static_cast<std::size_t>(i)] =
+      ct[static_cast<std::size_t>(i)] + cu[static_cast<std::size_t>(i)];
+  auto c2 = blas::gemv(a1, std::span<const T>(v1));
+  if (x_end) {
+    x_end->resize(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i)
+      (*x_end)[static_cast<std::size_t>(i)] =
+          v0[static_cast<std::size_t>(i)] + v1[static_cast<std::size_t>(i)];
+  }
+  return Homotopy<T>({std::move(a0), std::move(a1)},
+                     {std::move(c0), std::move(c1), std::move(c2)});
+}
+
+}  // namespace mdlsq::path

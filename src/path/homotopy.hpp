@@ -1,0 +1,196 @@
+// The homotopy family of the path-tracking subsystem (DESIGN.md §7):
+// A(t) x(t) = b(t) with A polynomial in t (a_terms matrix coefficients —
+// degree 1 is the classical linear homotopy; higher degrees give the
+// block-Toeplitz-banded variant, one band per Taylor term) and b
+// polynomial in t.  The solution path x(t) is globally defined wherever
+// A(t) is nonsingular, which is what the tracker follows.
+//
+// The tracker recenters the family at the current path parameter t0: the
+// shifted Taylor coefficients
+//
+//     Ahat_j = sum_{p>=j} C(p,j) t0^{p-j} A_p   (the Jacobian series)
+//     bhat_k = sum_{p>=k} C(p,k) t0^{p-k} b_p
+//
+// are exactly the diagonal band and right-hand side of the lower
+// triangular block Toeplitz system whose solution is the Taylor series of
+// x at t0 (core/block_toeplitz.hpp).  The binomial scale factors are
+// plain doubles (t is a machine number); every multiple-double operation
+// of the recentering and evaluation bodies is uniform in the data, so the
+// declared tallies below are exact and the launches that wrap these
+// bodies dry-run the identical schedule.
+//
+// Validation follows the thrown-error convention of core/
+// (std::invalid_argument on shape violations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/matrix.hpp"
+#include "core/tally_rules.hpp"
+#include "md/op_counts.hpp"
+
+namespace mdlsq::path {
+
+using core::operator*;  // OpTally scaling (core/tally_rules.hpp)
+
+namespace detail {
+// C(p, j) * t0^(p-j) in plain double — no counted operations.
+inline double binom_pow(int p, int j, double t0) noexcept {
+  double b = 1.0;
+  for (int i = 1; i <= j; ++i) b = b * double(p - j + i) / double(i);
+  double s = 1.0;
+  for (int i = 0; i < p - j; ++i) s *= t0;
+  return b * s;
+}
+}  // namespace detail
+
+template <class T>
+class Homotopy {
+ public:
+  // a[p] is the coefficient of t^p in A(t); b[p] likewise for b(t).
+  Homotopy(std::vector<blas::Matrix<T>> a, std::vector<blas::Vector<T>> b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    if (a_.empty() || b_.empty())
+      throw std::invalid_argument(
+          "mdlsq: Homotopy needs at least constant terms for A and b");
+    const int m = a_[0].rows();
+    if (m < 1)
+      throw std::invalid_argument("mdlsq: Homotopy dimension must be >= 1");
+    for (const auto& ap : a_)
+      if (ap.rows() != m || ap.cols() != m)
+        throw std::invalid_argument(
+            "mdlsq: Homotopy matrix coefficients must all be square of one "
+            "dimension");
+    for (const auto& bp : b_)
+      if (static_cast<int>(bp.size()) != m)
+        throw std::invalid_argument(
+            "mdlsq: Homotopy rhs coefficients must match the dimension");
+  }
+
+  int dim() const noexcept { return a_[0].rows(); }
+  int a_terms() const noexcept { return static_cast<int>(a_.size()); }
+  int b_terms() const noexcept { return static_cast<int>(b_.size()); }
+  const std::vector<blas::Matrix<T>>& a() const noexcept { return a_; }
+  const std::vector<blas::Vector<T>>& b() const noexcept { return b_; }
+
+  // Declared tally of taylor_blocks + rhs_series at one t0: one fma per
+  // matrix/vector element per (j, p) term, uniform in the data.
+  static md::OpTally recenter_ops(int m, int aterms, int bterms,
+                                  int orders) noexcept {
+    using O = core::ops_of<T>;
+    std::int64_t ta = 0, tb = 0;
+    for (int j = 0; j < aterms; ++j) ta += aterms - j;
+    const int kb = orders < bterms ? orders : bterms;
+    for (int k = 0; k < kb; ++k) tb += bterms - k;
+    return O::fma() * (ta * m * m + tb * m);
+  }
+
+  // Declared tally of evaluating A and b at one parameter value from
+  // already-recentered coefficients (aterms matrix terms, bterms vector
+  // terms, one fma per element per term).
+  static md::OpTally eval_ops(int m, int aterms, int bterms) noexcept {
+    using O = core::ops_of<T>;
+    return O::fma() * (std::int64_t(aterms) * m * m +
+                       std::int64_t(bterms) * m);
+  }
+
+  // Shifted Taylor coefficients of A at t0 — the Jacobian series, i.e.
+  // the bands of the block Toeplitz system.
+  std::vector<blas::Matrix<T>> taylor_blocks(double t0) const {
+    const int m = dim(), da = a_terms() - 1;
+    std::vector<blas::Matrix<T>> out;
+    out.reserve(a_.size());
+    for (int j = 0; j <= da; ++j) {
+      blas::Matrix<T> acc(m, m);
+      for (int p = j; p <= da; ++p) {
+        const T c(detail::binom_pow(p, j, t0));
+        const auto& ap = a_[static_cast<std::size_t>(p)];
+        for (int r = 0; r < m; ++r)
+          for (int q = 0; q < m; ++q) acc(r, q) = acc(r, q) + ap(r, q) * c;
+      }
+      out.push_back(std::move(acc));
+    }
+    return out;
+  }
+
+  // Shifted Taylor coefficients of b at t0, zero-padded to orders
+  // entries (orders >= b_terms() costs nothing extra: padding is free).
+  std::vector<blas::Vector<T>> rhs_series(double t0, int orders) const {
+    const int m = dim(), db = b_terms() - 1;
+    std::vector<blas::Vector<T>> out;
+    out.reserve(static_cast<std::size_t>(orders));
+    for (int k = 0; k < orders; ++k) {
+      blas::Vector<T> acc(static_cast<std::size_t>(m), T{});
+      for (int p = k; p <= db; ++p) {
+        const T c(detail::binom_pow(p, k, t0));
+        const auto& bp = b_[static_cast<std::size_t>(p)];
+        for (int i = 0; i < m; ++i) acc[static_cast<std::size_t>(i)] =
+            acc[static_cast<std::size_t>(i)] + bp[static_cast<std::size_t>(i)] * c;
+      }
+      out.push_back(std::move(acc));
+    }
+    return out;
+  }
+
+  // A(t) and b(t) directly (the corrector's Jacobian and right-hand side
+  // at the step target).  Same uniform-fma structure as the recentering:
+  // eval_ops(m, a_terms, b_terms) operations per call pair.
+  blas::Matrix<T> a_at(double t) const {
+    const int m = dim();
+    blas::Matrix<T> acc(m, m);
+    for (int p = 0; p < a_terms(); ++p) {
+      const T c(detail::binom_pow(p, 0, t));
+      const auto& ap = a_[static_cast<std::size_t>(p)];
+      for (int r = 0; r < m; ++r)
+        for (int q = 0; q < m; ++q) acc(r, q) = acc(r, q) + ap(r, q) * c;
+    }
+    return acc;
+  }
+  blas::Vector<T> b_at(double t) const {
+    const int m = dim();
+    blas::Vector<T> acc(static_cast<std::size_t>(m), T{});
+    for (int p = 0; p < b_terms(); ++p) {
+      const T c(detail::binom_pow(p, 0, t));
+      const auto& bp = b_[static_cast<std::size_t>(p)];
+      for (int i = 0; i < m; ++i)
+        acc[static_cast<std::size_t>(i)] =
+            acc[static_cast<std::size_t>(i)] + bp[static_cast<std::size_t>(i)] * c;
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<blas::Matrix<T>> a_;
+  std::vector<blas::Vector<T>> b_;
+};
+
+// Precision narrowing for the per-rung devices of the tracker's ladder
+// (limb truncation, no counted operations).
+template <int P, int NH>
+Homotopy<md::mdreal<P>> narrow_homotopy(const Homotopy<md::mdreal<NH>>& h) {
+  static_assert(P <= NH);
+  std::vector<blas::Matrix<md::mdreal<P>>> a;
+  a.reserve(h.a().size());
+  for (const auto& ap : h.a()) {
+    blas::Matrix<md::mdreal<P>> n(ap.rows(), ap.cols());
+    for (int i = 0; i < ap.rows(); ++i)
+      for (int j = 0; j < ap.cols(); ++j)
+        n(i, j) = ap(i, j).template to_precision<P>();
+    a.push_back(std::move(n));
+  }
+  std::vector<blas::Vector<md::mdreal<P>>> b;
+  b.reserve(h.b().size());
+  for (const auto& bp : h.b()) {
+    blas::Vector<md::mdreal<P>> n(bp.size());
+    for (std::size_t i = 0; i < bp.size(); ++i)
+      n[i] = bp[i].template to_precision<P>();
+    b.push_back(std::move(n));
+  }
+  return Homotopy<md::mdreal<P>>(std::move(a), std::move(b));
+}
+
+}  // namespace mdlsq::path

@@ -1,0 +1,727 @@
+// The power-series predictor–corrector path tracker (DESIGN.md §7) — the
+// paper's Section 1.1 application, built from the repo's own parts:
+//
+//   predictor — at the current parameter t0 the homotopy is recentered
+//     (Jacobian Taylor blocks + rhs series, one priced launch), the
+//     diagonal block is factored through the blocked QR pipeline, and the
+//     block Toeplitz recursion produces the Taylor coefficients of the
+//     solution path (core/block_toeplitz.hpp).  The series tail yields a
+//     pole-radius estimate (series.hpp) that sets the step size
+//     h = step_factor * radius, and the series (or its Padé approximant)
+//     is evaluated at h to predict x(t0 + h).
+//
+//   corrector — Newton at t1 = t0 + h, REUSING the cached QR factors of
+//     the Jacobian at t0 (the factor-reusing correction solve of
+//     core/refinement.hpp) instead of refactorizing: each iteration is a
+//     priced residual launch plus a priced correction solve.  The
+//     acceptance test is the adaptive ladder's (DESIGN.md §4):
+//     forward_estimate = cond_estimate * eta <= tol, with eta the
+//     normwise backward error of the corrected point.
+//
+//   precision ladder — each step starts at the path's current precision
+//     (d2 by default) and escalates d2 -> d4 -> d8 only when the
+//     acceptance test fails at the rung's measurement floor: escalation
+//     first REFINES (residuals at the higher precision on the host,
+//     corrections on the cached lower-precision factors — exactly
+//     polish-style refinement), and only when the factors are exhausted
+//     (stagnation, or cond * eps(factors) beyond the refine threshold)
+//     does the step restart with a factorization at the higher precision.
+//     The reached precision persists to later steps (conditioning along a
+//     path rarely relaxes), so a stiff path pays for d4 once and a benign
+//     path never does.
+//
+//   step-size control — a corrector that stagnates ABOVE the precision
+//     floor means the step outran the frozen-Jacobian contraction (or the
+//     pole-radius estimate): the step halves h and re-predicts, bounded
+//     by min_step.
+//
+// Every stage runs through Device::launch / launch_tiled with an
+// exactly-declared tally, so functional and dry-run modes walk identical
+// schedules (track_step_dry prices one step from recorded iteration
+// counts; track_dry prices the expected whole-path schedule for the LPT
+// sharding policy of batched_tracker.hpp).  Real scalars only, like the
+// adaptive ladder.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "blas/condition.hpp"
+#include "blas/gemm.hpp"
+#include "core/adaptive_lsq.hpp"
+#include "core/block_toeplitz.hpp"
+#include "device/device_spec.hpp"
+#include "device/launch.hpp"
+#include "path/homotopy.hpp"
+#include "path/series.hpp"
+#include "util/batch_report.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdlsq::path {
+
+namespace stage {
+inline constexpr const char* recenter = "recenter";
+inline constexpr const char* predict = "predict eval";
+inline constexpr const char* eval_ab = "eval A,b";
+inline constexpr const char* residual = "track residual";
+}  // namespace stage
+
+enum class PredictorKind { series, pade };
+
+struct TrackOptions {
+  double t_start = 0.0;
+  double t_end = 1.0;
+  // Per-step acceptance: cond_estimate * backward_error <= tol.
+  double tol = 1e-20;
+  int order = 8;              // series truncation order K (K+1 coefficients)
+  int tile = 4;               // device pipeline tile (must divide the dim)
+  int start_limbs = 2;        // first rung of the per-step ladder
+  int max_limbs = 0;          // 0: the input type's limb count
+  double step_factor = 0.25;  // h = step_factor * pole_radius
+  double max_step = 0.25;
+  double min_step = 1e-8;
+  int max_corrector_iters = 40;
+  int max_halvings = 8;
+  int max_steps = 256;
+  // A rung's backward-error measurement floor is floor_ulps * m * eps(p).
+  double floor_ulps = 64.0;
+  // Escalate by refinement while cond * eps(factors) stays below this.
+  double refine_rate_threshold = 1e-2;
+  PredictorKind predictor = PredictorKind::series;
+  int pade_denominator = 1;  // denominator degree of the Padé predictor
+  // Host execution engine (DESIGN.md §5), as in AdaptiveOptions.
+  int parallelism = 1;
+  util::ThreadPool* tile_pool = nullptr;
+  // Expected-schedule parameters of the dry-run pricing.
+  int dry_steps = 8;
+  int dry_corrector_iters = 2;
+};
+
+// One accepted (or abandoned) step of the tracker.
+struct StepStats {
+  double t0 = 0.0;
+  double h = 0.0;  // accepted step size (0 if the step failed)
+  double pole_radius = std::numeric_limits<double>::infinity();
+  int halvings = 0;        // step-size halvings within this step
+  int predict_evals = 0;   // predictor + A,b evaluations launched
+  int residual_evals = 0;  // corrector residual launches (first rung)
+  int correction_solves = 0;  // factor-reusing solves across all rungs
+  bool accepted = false;
+  // Precision attempts in ladder order; refactorized marks rungs that ran
+  // a fresh factorization (the first rung of each restart).
+  std::vector<util::RungStats> rungs;
+
+  double kernel_ms() const noexcept {
+    double t = 0;
+    for (const auto& r : rungs) t += r.kernel_ms;
+    return t;
+  }
+  double wall_ms() const noexcept {
+    double t = 0;
+    for (const auto& r : rungs) t += r.wall_ms;
+    return t;
+  }
+  md::OpTally analytic() const noexcept {
+    md::OpTally t;
+    for (const auto& r : rungs) t += r.analytic;
+    return t;
+  }
+  md::OpTally measured() const noexcept {
+    md::OpTally t;
+    for (const auto& r : rungs) t += r.measured;
+    return t;
+  }
+  md::OpTally host_ops() const noexcept {
+    md::OpTally t;
+    for (const auto& r : rungs) t += r.host_ops;
+    return t;
+  }
+  double dp_gflop() const noexcept {
+    double f = 0;
+    for (const auto& r : rungs) f += r.dp_gflop();
+    return f;
+  }
+};
+
+template <int NH>
+struct TrackResult {
+  blas::Vector<md::mdreal<NH>> x;  // the solution at t_reached
+  std::vector<StepStats> steps;
+  bool converged = false;   // reached t_end with every step accepted
+  double t_reached = 0.0;
+  md::Precision final_precision = md::Precision::d2;
+
+  double kernel_ms() const noexcept {
+    double t = 0;
+    for (const auto& s : steps) t += s.kernel_ms();
+    return t;
+  }
+  double wall_ms() const noexcept {
+    double t = 0;
+    for (const auto& s : steps) t += s.wall_ms();
+    return t;
+  }
+  md::OpTally device_analytic() const noexcept {
+    md::OpTally t;
+    for (const auto& s : steps) t += s.analytic();
+    return t;
+  }
+  md::OpTally device_measured() const noexcept {
+    md::OpTally t;
+    for (const auto& s : steps) t += s.measured();
+    return t;
+  }
+  md::OpTally host_ops() const noexcept {
+    md::OpTally t;
+    for (const auto& s : steps) t += s.host_ops();
+    return t;
+  }
+  double dp_gflop() const noexcept {
+    double f = 0;
+    for (const auto& s : steps) f += s.dp_gflop();
+    return f;
+  }
+  int correction_solves() const noexcept {
+    int n = 0;
+    for (const auto& s : steps) n += s.correction_solves;
+    return n;
+  }
+};
+
+namespace detail {
+
+using core::ceil_div;
+using core::operator*;  // OpTally scaling (core/tally_rules.hpp)
+
+// --- shared launch sites (functional and dry declare identically) -----------
+
+template <class T, class Body>
+void launch_recenter(device::Device& dev, int m, int aterms, int bterms,
+                     int orders, int tile, Body&& body) {
+  using O = core::ops_of<T>;
+  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+  dev.launch(stage::recenter, ceil_div(m * m, tile), tile,
+             Homotopy<T>::recenter_ops(m, aterms, bterms, orders),
+             (std::int64_t(aterms) * m * m + std::int64_t(orders) * m) * esz,
+             O::fma() * aterms, std::forward<Body>(body));
+}
+
+template <class T, class Body>
+void launch_predict(device::Device& dev, int m, int orders, int tile,
+                    Body&& body) {
+  using O = core::ops_of<T>;
+  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+  dev.launch(stage::predict, ceil_div(m, tile), tile, horner_ops<T>(m, orders),
+             (std::int64_t(orders) * m + m) * esz,
+             (O::mul() + O::add()) * (orders > 1 ? orders - 1 : 0),
+             std::forward<Body>(body));
+}
+
+template <class T, class Body>
+void launch_eval_ab(device::Device& dev, int m, int aterms, int bterms,
+                    int tile, Body&& body) {
+  using O = core::ops_of<T>;
+  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+  dev.launch(stage::eval_ab, ceil_div(m * m, tile), tile,
+             Homotopy<T>::eval_ops(m, aterms, bterms),
+             (std::int64_t(aterms) * m * m + std::int64_t(bterms) * m +
+              std::int64_t(m) * m + m) *
+                 esz,
+             O::fma() * std::max(aterms, bterms), std::forward<Body>(body));
+}
+
+// r = b1 - A1 x, tiled over row blocks (disjoint writes, fixed reduction
+// order inside each task).
+template <class T, class Body>
+void launch_residual(device::Device& dev, int m, int tile, Body&& body) {
+  using O = core::ops_of<T>;
+  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+  const md::OpTally ops =
+      O::fma() * (std::int64_t(m) * m) + O::sub() * std::int64_t(m);
+  const md::OpTally serial =
+      O::fma() * ceil_div(m, tile) + O::add() * 6 + O::sub();
+  dev.launch_tiled(stage::residual, m, tile, ops,
+                   (std::int64_t(m) * m + 2 * std::int64_t(m)) * esz, serial,
+                   blas::block_count(m, dev.parallelism()),
+                   std::forward<Body>(body));
+}
+
+// --- step outcome ------------------------------------------------------------
+
+enum class StepVerdict {
+  accepted,        // step committed
+  restart_higher,  // redo the whole step, factoring at restart_limbs
+  failed,          // step size collapsed or the ladder is exhausted
+};
+
+struct StepOutcome {
+  StepVerdict verdict = StepVerdict::failed;
+  int restart_limbs = 0;   // valid for restart_higher
+  int accepted_limbs = 0;  // precision of the accepting rung
+  double h = 0.0;          // accepted step size
+};
+
+// Why the corrector loop exits (checked in this order; the floor check
+// precedes the stagnation check so rounding-floor noise escalates the
+// precision instead of condemning the step size).
+enum class CorrectorExit { accepted, floor, stagnated };
+
+// The refinement escalation rung: residuals at precision P on the host
+// (tallied as host work, DESIGN.md §4), corrections on the cached
+// precision-FL factors of the step's Toeplitz solver — priced launches on
+// a Device running at FL.
+template <int FL, int P, int NH>
+CorrectorExit polish_rung(const device::DeviceSpec& spec,
+                          const Homotopy<md::mdreal<NH>>& h,
+                          const core::BlockToeplitzSolver<md::mdreal<FL>>& slv,
+                          double t1, double cond,
+                          blas::Vector<md::mdreal<NH>>& xw,
+                          const TrackOptions& opt, StepStats& st,
+                          util::RungStats& rs) {
+  static_assert(FL <= P && P <= NH);
+  using TP = md::mdreal<P>;
+  using TF = md::mdreal<FL>;
+  const int m = h.dim();
+  const double floor_p = opt.floor_ulps * m * core::detail::eps_of_limbs(P);
+
+  device::Device dev(spec, md::Precision(FL), device::ExecMode::functional);
+  dev.set_parallelism(opt.tile_pool, opt.parallelism);
+  rs.precision = md::Precision(P);
+  rs.device_precision = md::Precision(FL);
+  rs.cond_estimate = cond;
+
+  CorrectorExit exit = CorrectorExit::stagnated;
+  {
+    md::ScopedTally host_scope(rs.host_ops);
+    const auto hp = narrow_homotopy<P, NH>(h);
+    const auto a1 = hp.a_at(t1);
+    const auto b1 = hp.b_at(t1);
+    const double anorm = core::detail::dnorm_inf_mat(a1);
+    const double bnorm = core::detail::dnorm_inf_vec(b1);
+
+    double prev = std::numeric_limits<double>::infinity();
+    for (int iter = 0;; ++iter) {
+      auto xp = core::detail::narrow_vector<P, NH>(xw);
+      auto ax = blas::gemv(a1, std::span<const TP>(xp));
+      blas::Vector<TP> r(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) r[static_cast<std::size_t>(i)] =
+          b1[static_cast<std::size_t>(i)] - ax[static_cast<std::size_t>(i)];
+      const double rnorm =
+          core::detail::dnorm_inf_vec(r);
+      double scale = anorm * core::detail::dnorm_inf_vec(xw) + bnorm;
+      if (scale <= 0.0) scale = 1.0;
+      const double eta = rnorm / scale;
+      rs.backward_error = eta;
+      rs.forward_estimate = cond * eta;
+
+      if (rs.forward_estimate <= opt.tol || rnorm == 0.0) {
+        rs.accepted = true;
+        exit = CorrectorExit::accepted;
+        break;
+      }
+      if (eta <= floor_p) {
+        exit = CorrectorExit::floor;
+        break;
+      }
+      if (eta > prev * 0.5 || iter >= opt.max_corrector_iters) {
+        exit = CorrectorExit::stagnated;
+        break;
+      }
+      prev = eta;
+
+      blas::Vector<TF> rf(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i)
+        rf[static_cast<std::size_t>(i)] =
+            r[static_cast<std::size_t>(i)].template to_precision<FL>();
+      auto dx = slv.solve_diag_on(dev, std::span<const TF>(rf), opt.tile);
+      for (int j = 0; j < m; ++j)
+        xw[static_cast<std::size_t>(j)] +=
+            dx[static_cast<std::size_t>(j)].template to_precision<NH>();
+      rs.refine_iterations = iter + 1;
+      st.correction_solves += 1;
+    }
+  }
+  const device::DeviceUsage u = dev.usage();
+  rs.analytic = u.analytic;
+  rs.measured = u.measured;
+  rs.kernel_ms = u.kernel_ms;
+  rs.wall_ms = u.wall_ms;
+  return exit;
+}
+
+// The escalation chain after the first rung: refine at P, 2P, ... while
+// the cached FL factors can still contract; a stagnating refinement (or a
+// contraction rate beyond the threshold) restarts the step at the
+// offending precision with a fresh factorization.
+template <int FL, int P, int NH>
+StepOutcome escalate_chain(const device::DeviceSpec& spec,
+                           const Homotopy<md::mdreal<NH>>& h,
+                           const core::BlockToeplitzSolver<md::mdreal<FL>>& slv,
+                           double t1, double cond, double h_step, int maxl,
+                           blas::Vector<md::mdreal<NH>>& xw,
+                           const TrackOptions& opt, StepStats& st) {
+  if constexpr (P > 8 || P > NH) {
+    (void)spec; (void)h; (void)slv; (void)t1; (void)cond; (void)h_step;
+    (void)maxl; (void)xw; (void)opt; (void)st;
+    return {StepVerdict::failed, 0, 0, 0.0};
+  } else {
+    if (P > maxl) return {StepVerdict::failed, 0, 0, 0.0};
+    const double rate = cond * core::detail::eps_of_limbs(FL);
+    if (rate > opt.refine_rate_threshold)
+      return {StepVerdict::restart_higher, P, 0, 0.0};
+    util::RungStats rs;
+    const CorrectorExit exit =
+        polish_rung<FL, P, NH>(spec, h, slv, t1, cond, xw, opt, st, rs);
+    st.rungs.push_back(std::move(rs));
+    switch (exit) {
+      case CorrectorExit::accepted:
+        return {StepVerdict::accepted, 0, P, h_step};
+      case CorrectorExit::floor:
+        return escalate_chain<FL, 2 * P, NH>(spec, h, slv, t1, cond, h_step,
+                                             maxl, xw, opt, st);
+      case CorrectorExit::stagnated:
+        return {StepVerdict::restart_higher, P, 0, 0.0};
+    }
+    return {StepVerdict::failed, 0, 0, 0.0};
+  }
+}
+
+// One step attempt with the first rung at precision L: recenter, factor,
+// condition estimate, series solve, step-size choice, predict, correct.
+template <int L, int NH>
+StepOutcome run_step_at(const device::DeviceSpec& spec,
+                        const Homotopy<md::mdreal<NH>>& h, double t0,
+                        int maxl, blas::Vector<md::mdreal<NH>>& x_out,
+                        const TrackOptions& opt, StepStats& st) {
+  static_assert(L <= NH);
+  using TL = md::mdreal<L>;
+  const int m = h.dim();
+  const int orders = opt.order + 1;
+  const int aterms = h.a_terms(), bterms = h.b_terms();
+  const double floor_l = opt.floor_ulps * m * core::detail::eps_of_limbs(L);
+
+  util::RungStats rs;
+  rs.precision = rs.device_precision = md::Precision(L);
+  rs.refactorized = true;
+
+  device::Device dev(spec, md::Precision(L), device::ExecMode::functional);
+  dev.set_parallelism(opt.tile_pool, opt.parallelism);
+
+  const auto hl = narrow_homotopy<L, NH>(h);
+
+  // Recenter: Jacobian Taylor blocks + rhs series at t0.
+  std::vector<blas::Matrix<TL>> blocks;
+  std::vector<blas::Vector<TL>> bser;
+  launch_recenter<TL>(dev, m, aterms, bterms, orders, opt.tile, [&] {
+    blocks = hl.taylor_blocks(t0);
+    bser = hl.rhs_series(t0, orders);
+  });
+
+  // Factor the Jacobian through the blocked pipeline; estimate kappa.
+  core::BlockToeplitzSolver<TL> solver(dev, std::move(blocks), opt.tile);
+  blas::TriCondEstimate est;
+  core::detail::launch_cond_est(dev, m, opt.tile, 8 * std::int64_t(L), [&] {
+    est = blas::tri_condition_inf(solver.factors().r, m);
+  });
+  rs.cond_estimate = est.cond;
+
+  // The Taylor series of the path at t0 (predictor coefficients).
+  const auto xs = solver.solve_on(dev, bser, opt.tile);
+
+  // Step-size choice from the pole-radius estimate.
+  st.pole_radius = pole_radius_estimate(xs);
+  double hs = std::min(opt.step_factor * st.pole_radius, opt.max_step);
+  hs = std::max(hs, opt.min_step);
+  hs = std::min(hs, opt.t_end - t0);
+
+  // Corrector target state, carried at the full precision NH.
+  blas::Vector<md::mdreal<NH>> xw;
+  CorrectorExit exit = CorrectorExit::stagnated;
+  double t1 = t0;
+
+  for (;;) {
+    t1 = t0 + hs;
+    // Predict x(t1) from the series (launched) or its Padé approximant
+    // (host arithmetic, tallied like the ladder's acceptance work).
+    blas::Vector<TL> xp;
+    if (opt.predictor == PredictorKind::series) {
+      launch_predict<TL>(dev, m, orders, opt.tile,
+                         [&] { xp = horner_eval(xs, hs); });
+    } else {
+      md::ScopedTally host_scope(rs.host_ops);
+      xp = pade_eval(xs, opt.pade_denominator, hs);
+    }
+    // A(t1), b(t1) for the corrector.
+    blas::Matrix<TL> a1;
+    blas::Vector<TL> b1;
+    launch_eval_ab<TL>(dev, m, aterms, bterms, opt.tile, [&] {
+      a1 = hl.a_at(t1);
+      b1 = hl.b_at(t1);
+    });
+    st.predict_evals += 1;
+
+    const double anorm = core::detail::dnorm_inf_mat(a1);
+    const double bnorm = core::detail::dnorm_inf_vec(b1);
+
+    xw.assign(static_cast<std::size_t>(m), md::mdreal<NH>{});
+    for (int j = 0; j < m; ++j)
+      xw[static_cast<std::size_t>(j)] =
+          xp[static_cast<std::size_t>(j)].template to_precision<NH>();
+
+    // Newton corrector on the cached t0 factors.
+    double prev = std::numeric_limits<double>::infinity();
+    for (int iter = 0;; ++iter) {
+      auto xq = core::detail::narrow_vector<L, NH>(xw);
+      blas::Vector<TL> r(static_cast<std::size_t>(m));
+      launch_residual<TL>(dev, m, opt.tile, [&](int task) {
+        const auto blk = blas::block_range(m, dev.parallelism(), task);
+        for (int i = blk.begin; i < blk.end; ++i) {
+          TL s{};
+          for (int c = 0; c < m; ++c) s += a1(i, c) * xq[static_cast<std::size_t>(c)];
+          r[static_cast<std::size_t>(i)] = b1[static_cast<std::size_t>(i)] - s;
+        }
+      });
+      st.residual_evals += 1;
+
+      const double rnorm = core::detail::dnorm_inf_vec(r);
+      double scale = anorm * core::detail::dnorm_inf_vec(xw) + bnorm;
+      if (scale <= 0.0) scale = 1.0;
+      const double eta = rnorm / scale;
+      rs.backward_error = eta;
+      rs.forward_estimate = rs.cond_estimate * eta;
+
+      if (rs.forward_estimate <= opt.tol || rnorm == 0.0) {
+        rs.accepted = true;
+        exit = CorrectorExit::accepted;
+        break;
+      }
+      if (eta <= floor_l) {
+        exit = CorrectorExit::floor;
+        break;
+      }
+      if (eta > prev * 0.5 || iter >= opt.max_corrector_iters) {
+        exit = CorrectorExit::stagnated;
+        break;
+      }
+      prev = eta;
+
+      auto dx = solver.solve_diag_on(dev, std::span<const TL>(r), opt.tile);
+      {
+        md::ScopedTally host_scope(rs.host_ops);
+        for (int j = 0; j < m; ++j)
+          xw[static_cast<std::size_t>(j)] +=
+              dx[static_cast<std::size_t>(j)].template to_precision<NH>();
+      }
+      rs.refine_iterations = iter + 1;
+      st.correction_solves += 1;
+    }
+
+    if (exit != CorrectorExit::stagnated) break;
+    // The step outran the frozen-Jacobian contraction: halve and retry.
+    if (st.halvings >= opt.max_halvings || hs * 0.5 < opt.min_step) break;
+    st.halvings += 1;
+    hs *= 0.5;
+  }
+
+  const device::DeviceUsage u = dev.usage();
+  rs.analytic = u.analytic;
+  rs.measured = u.measured;
+  rs.kernel_ms = u.kernel_ms;
+  rs.wall_ms = u.wall_ms;
+  const double cond = rs.cond_estimate;
+  st.rungs.push_back(std::move(rs));
+
+  switch (exit) {
+    case CorrectorExit::accepted:
+      x_out = std::move(xw);
+      return {StepVerdict::accepted, 0, L, hs};
+    case CorrectorExit::floor: {
+      // Precision-limited: climb the ladder on the cached factors.
+      StepOutcome out = escalate_chain<L, 2 * L, NH>(
+          spec, h, solver, t1, cond, hs, maxl, xw, opt, st);
+      if (out.verdict == StepVerdict::accepted) x_out = std::move(xw);
+      return out;
+    }
+    case CorrectorExit::stagnated:
+      return {StepVerdict::failed, 0, 0, 0.0};
+  }
+  return {StepVerdict::failed, 0, 0, 0.0};
+}
+
+}  // namespace detail
+
+// The tracker driver.  The homotopy lives at the target precision NH; the
+// per-step ladder starts at opt.start_limbs (or the precision an earlier
+// step escalated to) and never exceeds min(opt.max_limbs, NH).
+template <int NH>
+TrackResult<NH> track(const device::DeviceSpec& spec,
+                      const Homotopy<md::mdreal<NH>>& h,
+                      const TrackOptions& opt = {}) {
+  static_assert(NH == 1 || NH == 2 || NH == 4 || NH == 8,
+                "the tracker ladder runs on the cost-table precisions");
+  if (opt.tile < 1 || h.dim() % opt.tile != 0)
+    throw std::invalid_argument(
+        "mdlsq: track requires a tile dividing the homotopy dimension");
+  if (opt.order < 1)
+    throw std::invalid_argument("mdlsq: track requires order >= 1");
+  // Intervals inside the stepping loop's epsilon would "converge" in zero
+  // steps with an untouched (all-zero) solution — reject them outright.
+  if (!(opt.t_end > opt.t_start + 1e-12))
+    throw std::invalid_argument(
+        "mdlsq: track requires t_end > t_start (by more than 1e-12)");
+  const int maxl = opt.max_limbs > 0 ? std::min(opt.max_limbs, NH) : NH;
+  if (opt.start_limbs < 1 || opt.start_limbs > maxl)
+    throw std::invalid_argument(
+        "mdlsq: track start_limbs must lie within the ladder");
+
+  // A standalone call with parallelism but no shared pool owns one for
+  // the track's duration (batched_tracker hands in its shared pool).
+  TrackOptions topt = opt;
+  std::optional<util::ThreadPool> owned_pool;
+  if (topt.parallelism > 1 && topt.tile_pool == nullptr) {
+    owned_pool.emplace(topt.parallelism - 1);
+    topt.tile_pool = &*owned_pool;
+  }
+
+  TrackResult<NH> out;
+  out.x.assign(static_cast<std::size_t>(h.dim()), md::mdreal<NH>{});
+  double t = topt.t_start;
+  int cur = topt.start_limbs;
+  bool ok = true;
+
+  while (ok && t < topt.t_end - 1e-14 &&
+         static_cast<int>(out.steps.size()) < topt.max_steps) {
+    StepStats st;
+    st.t0 = t;
+    detail::StepOutcome outcome;
+    for (;;) {
+      core::detail::with_limbs(cur, [&](auto tag) {
+        constexpr int L = decltype(tag)::limbs;
+        if constexpr (L <= NH) {
+          outcome =
+              detail::run_step_at<L, NH>(spec, h, t, maxl, out.x, topt, st);
+        }
+      });
+      if (outcome.verdict == detail::StepVerdict::restart_higher &&
+          outcome.restart_limbs <= maxl && outcome.restart_limbs > cur) {
+        cur = outcome.restart_limbs;
+        continue;  // redo the step, factoring at the escalated precision
+      }
+      break;
+    }
+    if (outcome.verdict == detail::StepVerdict::accepted) {
+      st.accepted = true;
+      st.h = outcome.h;
+      t += outcome.h;
+      cur = std::max(cur, outcome.accepted_limbs);
+    } else {
+      ok = false;
+    }
+    out.steps.push_back(std::move(st));
+  }
+
+  out.t_reached = t;
+  out.converged = ok && t >= topt.t_end - 1e-12;
+  out.final_precision = md::Precision(cur);
+  return out;
+}
+
+// --- dry-run pricing ---------------------------------------------------------
+
+// Prices the launch schedule of one single-rung tracking step from its
+// iteration counts: recenter, factor + condition estimate, series solve,
+// then per predictor evaluation one predict + one A,b launch, and the
+// corrector's residual launches and correction solves.  A functional step
+// that stayed on its first rung walks exactly this schedule (pinned by
+// tests/test_path_tracker.cpp).  The Padé predictor runs on the host
+// (tallied as host work), so its steps issue only the A,b launch per
+// predictor evaluation — pass the tracked predictor kind so the replay
+// matches.
+template <class T>
+void track_step_dry(device::Device& dev, int m, int aterms, int bterms,
+                    int order, int tile, int predict_evals,
+                    int residual_evals, int correction_solves,
+                    PredictorKind predictor = PredictorKind::series) {
+  const int orders = order + 1;
+  detail::launch_recenter<T>(dev, m, aterms, bterms, orders, tile, [] {});
+  core::BlockToeplitzSolver<T>::factor_dry(dev, m, tile);
+  core::detail::launch_cond_est(
+      dev, m, tile, 8 * std::int64_t(blas::scalar_traits<T>::limbs), [] {});
+  core::BlockToeplitzSolver<T>::solve_series_dry(dev, m, aterms, orders, tile);
+  for (int e = 0; e < predict_evals; ++e) {
+    if (predictor == PredictorKind::series)
+      detail::launch_predict<T>(dev, m, orders, tile, [] {});
+    detail::launch_eval_ab<T>(dev, m, aterms, bterms, tile, [] {});
+  }
+  for (int i = 0; i < residual_evals; ++i)
+    detail::launch_residual<T>(dev, m, tile, [](int) {});
+  for (int s = 0; s < correction_solves; ++s)
+    core::correction_solve_dry<T>(dev, m, m, tile);
+}
+
+// Expected-schedule price of a whole path for the sharding policies:
+// dry_steps steps at the starting precision, each with one predictor
+// evaluation and dry_corrector_iters correction rounds.  Escalations and
+// halvings are data-dependent, so this is a model, not a replay — the
+// same contract as adaptive_least_squares_dry (DESIGN.md §4).
+struct TrackDryResult {
+  md::Precision precision = md::Precision::d2;
+  int steps = 0;
+  md::OpTally analytic;
+  std::int64_t launches = 0;
+  double kernel_ms = 0.0;
+  double wall_ms = 0.0;
+  double dp_gflop = 0.0;
+};
+
+inline TrackDryResult track_dry(const device::DeviceSpec& spec, int m,
+                                int aterms, int bterms,
+                                const TrackOptions& opt = {}) {
+  TrackDryResult out;
+  core::detail::with_limbs(opt.start_limbs, [&](auto tag) {
+    using TL = decltype(tag);
+    device::Device dev(spec, md::Precision(TL::limbs),
+                       device::ExecMode::dry_run);
+    for (int s = 0; s < opt.dry_steps; ++s)
+      track_step_dry<TL>(dev, m, aterms, bterms, opt.order, opt.tile, 1,
+                         opt.dry_corrector_iters + 1, opt.dry_corrector_iters,
+                         opt.predictor);
+    out.precision = md::Precision(TL::limbs);
+    out.steps = opt.dry_steps;
+    out.analytic = dev.analytic_total();
+    out.launches = dev.launches();
+    out.kernel_ms = dev.kernel_ms();
+    out.wall_ms = dev.wall_ms();
+    out.dp_gflop = out.analytic.dp_flops(out.precision) * 1e-9;
+  });
+  return out;
+}
+
+// Device-priced Taylor coefficients of the path at t0 — the recenter /
+// factor / series-solve front of one tracking step, exposed for the
+// order-by-order error measurements of examples/path_tracking.cpp.
+template <class T>
+std::vector<blas::Vector<T>> taylor_series(device::Device& dev,
+                                           const Homotopy<T>& h, double t0,
+                                           int order, int tile) {
+  const int m = h.dim();
+  const int orders = order + 1;
+  std::vector<blas::Matrix<T>> blocks;
+  std::vector<blas::Vector<T>> bser;
+  detail::launch_recenter<T>(dev, m, h.a_terms(), h.b_terms(), orders, tile,
+                             [&] {
+                               blocks = h.taylor_blocks(t0);
+                               bser = h.rhs_series(t0, orders);
+                             });
+  core::BlockToeplitzSolver<T> solver(dev, std::move(blocks), tile);
+  return solver.solve_on(dev, bser, tile);
+}
+
+}  // namespace mdlsq::path

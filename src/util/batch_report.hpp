@@ -74,12 +74,27 @@ struct BatchRungRow {
   double kernel_ms = 0.0;
 };
 
+// One tracked path of a batched path-tracking run (path/batched_tracker):
+// steps taken, factor-reusing correction solves spent, the precision the
+// per-step ladder reached, and the path's exact device tally.
+struct BatchPathRow {
+  int path = -1;
+  int device = -1;             // pool slot the path was served by
+  int steps = 0;
+  int correction_solves = 0;
+  md::Precision final_precision = md::Precision::d2;
+  bool converged = false;
+  md::OpTally tally;           // summed analytic tallies of the path
+  double kernel_ms = 0.0;
+};
+
 struct BatchReport {
   md::Precision precision = md::Precision::d2;  // the batch's target type
   std::string policy;                 // sharding policy name
   std::string pipeline;               // per-problem pipeline name
   std::vector<BatchDeviceRow> rows;   // one per pool device, in pool order
   std::vector<BatchRungRow> rungs;    // escalation stats; empty for direct
+  std::vector<BatchPathRow> paths;    // per-path rows; tracker batches only
   md::OpTally tally;                  // batch aggregate (== sum of rows)
   double dp_gflop_total = 0.0;        // summed per-device dp_gflop
   double kernel_ms = 0.0;             // summed over devices
@@ -128,6 +143,19 @@ struct BatchReport {
                    std::to_string(r.tally.md_ops()), fmt2(r.dp_gflop),
                    fmt2(r.kernel_ms)});
       e.print(out);
+    }
+
+    if (!paths.empty()) {
+      std::fprintf(out, "tracked paths:\n");
+      Table p({"path", "device", "steps", "corrections", "precision",
+               "converged", "md ops", "kernel ms"});
+      for (const auto& r : paths)
+        p.add_row({std::to_string(r.path), std::to_string(r.device),
+                   std::to_string(r.steps),
+                   std::to_string(r.correction_solves),
+                   md::name_of(r.final_precision), r.converged ? "yes" : "NO",
+                   std::to_string(r.tally.md_ops()), fmt2(r.kernel_ms)});
+      p.print(out);
     }
   }
 };

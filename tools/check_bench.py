@@ -4,7 +4,7 @@ committed bench/baseline.json and fail on regression.
 
 Usage:
     tools/check_bench.py NEW_JSON BASELINE_JSON [--tolerance 0.25]
-                         [--min-wall-ms 100]
+                         [--min-wall-ms 100] [--extra MORE_JSON ...]
 
 What is gated, and why (DESIGN.md §6):
 
@@ -37,6 +37,13 @@ What is gated, and why (DESIGN.md §6):
 * coverage — every baseline case must still exist in the new run, so a
   regression can't hide by deleting its case.  New cases are reported
   and pass; commit a refreshed baseline to start gating them.
+* --extra PATH (repeatable) — merge the cases of further bench
+  artifacts (e.g. BENCH_path.json from bench_path_tracking) into the
+  new run before gating, so one baseline file covers every suite.
+  Duplicate case keys across artifacts are an error: a case silently
+  shadowing another would soften the gate.  hardware_concurrency is
+  taken from the primary NEW_JSON (the absolute speedup floor applies
+  to its cases).
 
 Stdlib only; exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 """
@@ -85,10 +92,22 @@ def main():
                     help="comma-separated 'kind' or 'kind/precision' "
                          "entries the absolute floor applies to "
                          "(default: qr/8d)")
+    ap.add_argument("--extra", action="append", default=[],
+                    help="additional bench JSON whose cases join the new "
+                         "run before gating (repeatable)")
     args = ap.parse_args()
 
     new_doc = load_doc(args.new_json)
     new = {case_key(c): c for c in new_doc["cases"]}
+    for path in args.extra:
+        for case in load_doc(path)["cases"]:
+            key = case_key(case)
+            if key in new:
+                print(f"check_bench: duplicate case "
+                      f"{'/'.join(str(k) for k in key)} in {path}",
+                      file=sys.stderr)
+                sys.exit(2)
+            new[key] = case
     base = load_cases(args.baseline_json)
     tol = args.tolerance
     floor_kinds = args.min_speedup_kinds.split(",")

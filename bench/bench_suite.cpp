@@ -1,9 +1,12 @@
 // The unified perf-trajectory benchmark: sequential vs threaded
 // functional runs of the blocked QR, the tiled back substitution and the
-// full least-squares pipeline, across d2/d4/d8, on the V100 device model.
-// Emits BENCH_suite.json (argv[1], default ./BENCH_suite.json; argv[2]
-// overrides the threaded width, default 4) — THE artifact CI tracks:
-// tools/check_bench.py gates every push against bench/baseline.json.
+// full least-squares pipeline, across d2/d4/d8, on the V100 device model,
+// plus the staged-vs-interleaved layout cases whose staged_speedup ratio
+// locks the staged-resident layout win into the trajectory (DESIGN.md
+// §8).  Emits BENCH_suite.json (argv[1], default ./BENCH_suite.json;
+// argv[2] overrides the threaded width, default 4) — THE artifact CI
+// tracks: tools/check_bench.py gates every push against
+// bench/baseline.json.
 //
 // Two kinds of numbers per case (DESIGN.md §5-§6):
 //   * modeled_kernel_ms — the device model's price of the launch
@@ -24,6 +27,7 @@
 #include "bench_util.hpp"
 #include "blas/generate.hpp"
 #include "core/least_squares.hpp"
+#include "core/refinement.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace mdlsq;
@@ -32,13 +36,16 @@ using bench::now_ms;
 namespace {
 
 struct CaseResult {
-  std::string kind;       // "qr" | "backsub" | "lsq"
+  std::string kind;       // "qr" | "backsub" | "lsq" | "layout"
   std::string precision;  // Table 1 row name
   int rows = 0, cols = 0, tile = 0;
   double modeled_kernel_ms = 0;
   double seq_wall_ms = 0, par_wall_ms = 0;
   bool identical = true;    // threaded limb-identical to sequential
   bool tally_ok = true;     // measured == analytic on both devices
+  // Layout cases only: interleaved wall / staged-resident wall (the
+  // staged layout win the CI gate locks in; 0 elsewhere).
+  double staged_speedup = 0;
   double speedup() const { return par_wall_ms > 0 ? seq_wall_ms / par_wall_ms : 0; }
 };
 
@@ -158,6 +165,72 @@ CaseResult lsq_case(int rows, int cols, int tile, util::ThreadPool& pool,
   return r;
 }
 
+// Staged-resident vs interleaved substrate (DESIGN.md §8): the factor-
+// reusing QR solve workload of the adaptive ladder and the path tracker —
+// `solves` correction solves (the Q^H r gemm panel + the triangular
+// solve) against cached factors, a full m-by-m unitary factor and the
+// c-by-c leading triangle.  The STAGED path stages the factors once and
+// every launch reads them resident; the INTERLEAVED path keeps them in
+// host array-of-structs storage, so every launch pays the gather/scatter
+// round trip into the planar form the kernels consume — the per-launch
+// conversion cost the layout ablation (bench_ablation_layout) quantifies
+// and the staged-resident refactor removed.  Both paths run the
+// IDENTICAL kernels in the identical order, so the results must be
+// limb-identical; the wall ratio is the staged_speedup the CI gate locks
+// into the perf trajectory.
+template <class T>
+CaseResult layout_case(int m, int c, int solves, int tile) {
+  std::mt19937_64 gen(0x5eed3 + m);
+  auto q = blas::random_matrix<T>(m, m, gen);
+  auto rtop_full = bench_triangular<T>(c, gen);
+  blas::Matrix<T> rtop(c, c);  // upper triangle only, zeros below
+  for (int i = 0; i < c; ++i)
+    for (int j = i; j < c; ++j) rtop(i, j) = rtop_full(i, j);
+  std::vector<blas::Vector<T>> residuals;
+  for (int s = 0; s < solves; ++s)
+    residuals.push_back(blas::random_vector<T>(m, gen));
+
+  // Staged-resident: factors staged once, launches read them resident.
+  auto sdev = make_dev<T>();
+  std::vector<blas::Vector<T>> xs;
+  const double t0 = now_ms();
+  {
+    auto sq = sdev.stage(q);
+    auto srt = sdev.stage(rtop);
+    for (int s = 0; s < solves; ++s)
+      xs.push_back(core::correction_solve_staged_run<T>(
+          sdev, &sq, &srt, std::span<const T>(residuals[std::size_t(s)]), m,
+          c, tile));
+  }
+  const double t1 = now_ms();
+
+  // Interleaved: host AoS factors, per-launch gather into planar form.
+  auto idev = make_dev<T>();
+  std::vector<blas::Vector<T>> xi;
+  const double t2 = now_ms();
+  for (int s = 0; s < solves; ++s) {
+    auto sq = idev.stage(q);
+    auto srt = idev.stage(rtop);
+    xi.push_back(core::correction_solve_staged_run<T>(
+        idev, &sq, &srt, std::span<const T>(residuals[std::size_t(s)]), m, c,
+        tile));
+  }
+  const double t3 = now_ms();
+
+  CaseResult r{"layout", md::name_of(sdev.precision()), m, c, tile,
+               sdev.kernel_ms(), t3 - t2, t1 - t0};
+  r.staged_speedup = r.speedup();
+  r.tally_ok = tallies_exact(sdev) && tallies_exact(idev);
+  for (int s = 0; s < solves && r.identical; ++s)
+    for (int j = 0; j < c; ++j)
+      if (!blas::bit_identical(xs[std::size_t(s)][std::size_t(j)],
+                               xi[std::size_t(s)][std::size_t(j)])) {
+        r.identical = false;
+        break;
+      }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +251,11 @@ int main(int argc, char** argv) {
   cases.push_back(lsq_case<md::dd_real>(96, 64, 16, pool, width));
   cases.push_back(lsq_case<md::qd_real>(80, 48, 16, pool, width));
   cases.push_back(lsq_case<md::od_real>(64, 32, 16, pool, width));
+  // Staged-resident vs interleaved substrate: the factor-reusing QR
+  // solve workload; seq wall = interleaved, par wall = staged, speedup =
+  // the staged_speedup ratio the gate locks in (DESIGN.md §8).
+  cases.push_back(layout_case<md::dd_real>(320, 8, 448, 8));
+  cases.push_back(layout_case<md::qd_real>(288, 8, 160, 8));
 
   bench::header("sequential vs threaded execution engine (V100 model)");
   std::printf("threads: %d (hardware_concurrency %u)\n\n", width,
@@ -209,11 +287,14 @@ int main(int argc, char** argv) {
                  "\"cols\":%d,\"tile\":%d,\"modeled_kernel_ms\":%.6f,"
                  "\"seq_wall_ms\":%.3f,\"par_wall_ms\":%.3f,"
                  "\"speedup\":%.3f,\"bit_identical\":%s,"
-                 "\"tally_conserved\":%s}",
+                 "\"tally_conserved\":%s",
                  i ? "," : "", c.kind.c_str(), c.precision.c_str(), c.rows,
                  c.cols, c.tile, c.modeled_kernel_ms, c.seq_wall_ms,
                  c.par_wall_ms, c.speedup(), c.identical ? "true" : "false",
                  c.tally_ok ? "true" : "false");
+    if (c.staged_speedup > 0)
+      std::fprintf(f, ",\"staged_speedup\":%.3f", c.staged_speedup);
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);

@@ -15,6 +15,7 @@
 
 #include <cassert>
 #include <span>
+#include <stdexcept>
 
 #include "blas/matrix.hpp"
 
@@ -33,9 +34,11 @@ struct BlockRange {
 inline int block_count(int n, int nblocks) noexcept {
   return nblocks < n ? (nblocks < 1 ? 1 : nblocks) : (n > 0 ? n : 0);
 }
-inline BlockRange block_range(int n, int nblocks, int t) noexcept {
+inline BlockRange block_range(int n, int nblocks, int t) {
   const int k = block_count(n, nblocks);
-  assert(k > 0 && t >= 0 && t < k);
+  if (k <= 0 || t < 0 || t >= k)
+    throw std::invalid_argument(
+        "mdlsq: block_range task index outside the partition");
   const int base = n / k, extra = n % k;
   const int begin = t * base + (t < extra ? t : extra);
   return {begin, begin + base + (t < extra ? 1 : 0)};
@@ -59,7 +62,8 @@ void gemm_block(int r0, int r1, int c0, int c1, int k0, int k1, AAt&& a,
 // y = A x
 template <class T>
 Vector<T> gemv(const Matrix<T>& a, std::span<const T> x) {
-  assert(static_cast<size_t>(a.cols()) == x.size());
+  if (static_cast<size_t>(a.cols()) != x.size())
+    throw std::invalid_argument("mdlsq: gemv needs cols(A) == len(x)");
   Vector<T> y(a.rows());
   gemm_block<T>(
       0, a.rows(), 0, 1, 0, a.cols(), [&](int i, int k) { return a(i, k); },
@@ -71,7 +75,8 @@ Vector<T> gemv(const Matrix<T>& a, std::span<const T> x) {
 // y = A^H x   (A^T for real scalars)
 template <class T>
 Vector<T> gemv_adjoint(const Matrix<T>& a, std::span<const T> x) {
-  assert(static_cast<size_t>(a.rows()) == x.size());
+  if (static_cast<size_t>(a.rows()) != x.size())
+    throw std::invalid_argument("mdlsq: gemv_adjoint needs rows(A) == len(x)");
   Vector<T> y(a.cols());
   gemm_block<T>(
       0, a.cols(), 0, 1, 0, a.rows(),
@@ -84,7 +89,8 @@ Vector<T> gemv_adjoint(const Matrix<T>& a, std::span<const T> x) {
 // C = A B
 template <class T>
 Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b) {
-  assert(a.cols() == b.rows());
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("mdlsq: gemm needs cols(A) == rows(B)");
   Matrix<T> c(a.rows(), b.cols());
   gemm_block<T>(
       0, a.rows(), 0, b.cols(), 0, a.cols(),
@@ -97,7 +103,9 @@ Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b) {
 // C = A^H B
 template <class T>
 Matrix<T> gemm_adjoint_a(const Matrix<T>& a, const Matrix<T>& b) {
-  assert(a.rows() == b.rows());
+  if (a.rows() != b.rows())
+    throw std::invalid_argument(
+        "mdlsq: gemm_adjoint_a needs rows(A) == rows(B)");
   Matrix<T> c(a.cols(), b.cols());
   gemm_block<T>(
       0, a.cols(), 0, b.cols(), 0, a.rows(),
@@ -110,7 +118,9 @@ Matrix<T> gemm_adjoint_a(const Matrix<T>& a, const Matrix<T>& b) {
 // C = A B^H
 template <class T>
 Matrix<T> gemm_adjoint_b(const Matrix<T>& a, const Matrix<T>& b) {
-  assert(a.cols() == b.cols());
+  if (a.cols() != b.cols())
+    throw std::invalid_argument(
+        "mdlsq: gemm_adjoint_b needs cols(A) == cols(B)");
   Matrix<T> c(a.rows(), b.rows());
   gemm_block<T>(
       0, a.rows(), 0, b.rows(), 0, a.cols(),
@@ -123,7 +133,8 @@ Matrix<T> gemm_adjoint_b(const Matrix<T>& a, const Matrix<T>& b) {
 // C += A B
 template <class T>
 void gemm_acc(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
-  assert(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols());
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols())
+    throw std::invalid_argument("mdlsq: gemm_acc operand shapes disagree");
   for (int i = 0; i < a.rows(); ++i)
     for (int j = 0; j < b.cols(); ++j) {
       T s = c(i, j);

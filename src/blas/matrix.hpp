@@ -1,9 +1,14 @@
 // Dense row-major host matrix over any multiple-double scalar.  This is
 // the *reference* (host/CPU) container; the device algorithms use the
 // staged layout in device/staged.hpp.
+//
+// Shape arguments are validated with thrown std::invalid_argument
+// (core/'s convention — asserts would vanish under NDEBUG); per-element
+// indices stay asserts on the hot access path.
 #pragma once
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -15,9 +20,8 @@ template <class T>
 class Matrix {
  public:
   Matrix() = default;
-  Matrix(int rows, int cols) : rows_(rows), cols_(cols), a_(size_t(rows) * cols) {
-    assert(rows >= 0 && cols >= 0);
-  }
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), a_(checked_size(rows, cols)) {}
 
   int rows() const noexcept { return rows_; }
   int cols() const noexcept { return cols_; }
@@ -60,6 +64,15 @@ class Matrix {
   }
 
  private:
+  // Validates BEFORE the storage member allocates (a negative dimension
+  // must throw, not wrap around to a huge size_t allocation).
+  static size_t checked_size(int rows, int cols) {
+    if (rows < 0 || cols < 0)
+      throw std::invalid_argument(
+          "mdlsq: Matrix dimensions must be non-negative");
+    return size_t(rows) * cols;
+  }
+
   int rows_ = 0, cols_ = 0;
   std::vector<T> a_;
 };

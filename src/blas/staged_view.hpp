@@ -1,0 +1,157 @@
+// StagedView: the non-owning accessor that makes limb-planar (staged)
+// storage a first-class kernel substrate (DESIGN.md §8).
+//
+// A staged matrix keeps limb s of every element in one contiguous plane
+// of doubles (device/staged.hpp).  StagedView addresses a rectangular
+// window of such storage through the same get/set element interface the
+// host blas::Matrix offers through HostView, so every accessor-generic
+// kernel — gemm_block, the panel kernels below, the task-graph bodies of
+// the blocked QR and the tiled back substitution — runs unchanged on
+// either layout.  Views are cheap (a pointer, a stride and four ints),
+// are passed by value into launch bodies, and never allocate; writing
+// through a view mutates the staged buffer it windows, which is what
+// keeps intermediate pipeline results device-resident across launches.
+//
+// Element access gathers the limbs of one element from the planes (the
+// device's per-thread register load: adjacent elements are adjacent in
+// every plane, i.e. coalesced); row_segment exposes the contiguous
+// per-plane span of a row window so structural operations (zero fills,
+// triangle extraction, staging) can run plane-contiguously through
+// md::planes instead of element-by-element.
+//
+// Shape arguments are validated with thrown std::invalid_argument
+// (core/'s convention); per-element indices stay asserts — they sit on
+// the innermost kernel loops.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "blas/matrix.hpp"
+#include "blas/scalar.hpp"
+
+namespace mdlsq::blas {
+
+template <class T>
+class StagedView {
+  using traits = scalar_traits<T>;
+  static constexpr int kLimbs = traits::limbs;
+
+ public:
+  static constexpr int planes = traits::doubles_per_element;
+
+  StagedView() = default;
+  // A window of `rows` x `cols` elements at offset (r0, c0) of a parent
+  // staged buffer: `d` is the parent's plane-0 origin, `plane` its
+  // doubles-per-plane count, `ld` its leading dimension (columns).
+  StagedView(double* d, std::size_t plane, int ld, int r0, int c0, int rows,
+             int cols)
+      : d_(d), plane_(plane), ld_(ld), r0_(r0), c0_(c0), rows_(rows),
+        cols_(cols) {
+    if (rows < 0 || cols < 0 || r0 < 0 || c0 < 0 || ld < 0 ||
+        c0 + cols > ld ||
+        (rows > 0 && cols > 0 &&
+         static_cast<std::size_t>(r0 + rows - 1) * ld + (c0 + cols) > plane))
+      throw std::invalid_argument(
+          "mdlsq: StagedView window exceeds its parent staged buffer");
+  }
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  T get(int i, int j) const noexcept {
+    const std::size_t at = idx(i, j);
+    if constexpr (traits::is_complex) {
+      T z;
+      for (int s = 0; s < kLimbs; ++s) {
+        z.re.set_limb(s, d_[s * plane_ + at]);
+        z.im.set_limb(s, d_[(kLimbs + s) * plane_ + at]);
+      }
+      return z;
+    } else {
+      T x;
+      for (int s = 0; s < kLimbs; ++s) x.set_limb(s, d_[s * plane_ + at]);
+      return x;
+    }
+  }
+
+  void set(int i, int j, const T& v) const noexcept {
+    const std::size_t at = idx(i, j);
+    if constexpr (traits::is_complex) {
+      for (int s = 0; s < kLimbs; ++s) {
+        d_[s * plane_ + at] = v.re.limb(s);
+        d_[(kLimbs + s) * plane_ + at] = v.im.limb(s);
+      }
+    } else {
+      for (int s = 0; s < kLimbs; ++s) d_[s * plane_ + at] = v.limb(s);
+    }
+  }
+
+  // A sub-window, in this view's coordinates.
+  StagedView block(int i0, int j0, int rows, int cols) const {
+    if (i0 < 0 || j0 < 0 || rows < 0 || cols < 0 || i0 + rows > rows_ ||
+        j0 + cols > cols_)
+      throw std::invalid_argument(
+          "mdlsq: StagedView block exceeds the view");
+    return StagedView(d_, plane_, ld_, r0_ + i0, c0_ + j0, rows, cols);
+  }
+
+  // The contiguous doubles of stage plane s covering row i, columns
+  // [j0, j0 + len): the plane-contiguous handle for md::planes kernels.
+  // Planes [0, planes): real limbs first, then (complex only) imaginary.
+  std::span<double> row_segment(int s, int i, int j0, int len) const {
+    if (s < 0 || s >= planes || i < 0 || i >= rows_ || j0 < 0 || len < 0 ||
+        j0 + len > cols_)
+      throw std::invalid_argument(
+          "mdlsq: StagedView row_segment out of range");
+    return {d_ + s * plane_ + idx(i, j0), static_cast<std::size_t>(len)};
+  }
+
+ private:
+  std::size_t idx(int i, int j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return static_cast<std::size_t>(r0_ + i) * ld_ + (c0_ + j);
+  }
+
+  double* d_ = nullptr;
+  std::size_t plane_ = 0;
+  int ld_ = 0;
+  int r0_ = 0, c0_ = 0;
+  int rows_ = 0, cols_ = 0;
+};
+
+// The host-layout counterpart: the same get/set interface over a
+// blas::Matrix window, so accessor-generic kernels run on either layout
+// (the staged-vs-host conformance tests pin them limb-identical).
+template <class T>
+class HostView {
+ public:
+  HostView() = default;
+  explicit HostView(Matrix<T>& m) : HostView(m, 0, 0, m.rows(), m.cols()) {}
+  HostView(Matrix<T>& m, int r0, int c0, int rows, int cols)
+      : m_(&m), r0_(r0), c0_(c0), rows_(rows), cols_(cols) {
+    if (r0 < 0 || c0 < 0 || rows < 0 || cols < 0 || r0 + rows > m.rows() ||
+        c0 + cols > m.cols())
+      throw std::invalid_argument(
+          "mdlsq: HostView window exceeds its matrix");
+  }
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  T get(int i, int j) const noexcept { return (*m_)(r0_ + i, c0_ + j); }
+  void set(int i, int j, const T& v) const noexcept {
+    (*m_)(r0_ + i, c0_ + j) = v;
+  }
+  HostView block(int i0, int j0, int rows, int cols) const {
+    return HostView(*m_, r0_ + i0, c0_ + j0, rows, cols);
+  }
+
+ private:
+  Matrix<T>* m_ = nullptr;
+  int r0_ = 0, c0_ = 0;
+  int rows_ = 0, cols_ = 0;
+};
+
+}  // namespace mdlsq::blas

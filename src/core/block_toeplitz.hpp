@@ -60,12 +60,16 @@ class BlockToeplitzSolver {
     validate_blocks();
     qr_ = householder_qr(blocks_[0]);
     build_r_top();
+    build_residency();
   }
 
-  // Device-priced factorization: T_0 goes through the blocked QR pipeline
+  // Device-priced factorization: T_0 is staged (explicit priced
+  // transfer) and goes through the staged-resident blocked QR pipeline
   // on `dev` (functional mode), so the O(m^3) step is launched, tallied
-  // and timed like every other kernel.  `tile` must divide the block
-  // dimension (the pipeline's tiling contract).
+  // and timed like every other kernel; the factors are unstaged for the
+  // host reference path AND kept device-resident, so every later
+  // factor-reusing solve reads staged storage (DESIGN.md §8).  `tile`
+  // must divide the block dimension (the pipeline's tiling contract).
   BlockToeplitzSolver(device::Device& dev, std::vector<blas::Matrix<T>> blocks,
                       int tile)
       : blocks_(std::move(blocks)) {
@@ -75,10 +79,23 @@ class BlockToeplitzSolver {
           "mdlsq: BlockToeplitzSolver device factorization requires a "
           "functional device (price dry schedules with factor_dry)");
     validate_tile(block_dim(), tile);
-    auto out = blocked_qr_run<T>(dev, &blocks_[0], block_dim(), block_dim(),
-                                 tile);
-    qr_ = QrFactors<T>{std::move(out.q), std::move(out.r)};
+    const int m = block_dim();
+    auto sa = dev.stage(blocks_[0]);
+    StagedQr<T> f = blocked_qr_staged_run<T>(dev, &sa, m, m, tile);
+    qr_ = QrFactors<T>{dev.unstage(f.q), dev.unstage(f.r)};
     build_r_top();
+    // The factors are ALREADY resident: keep Q's staged buffer and copy
+    // R's leading triangle plane-contiguously instead of re-staging the
+    // just-unstaged host matrices.
+    staged_q_ = std::move(f.q);
+    staged_rtop_ = device::Staged2D<T>(m, m);
+    const auto rv = f.r.view();
+    const auto tv = staged_rtop_.view();
+    for (int i = 0; i < m; ++i)
+      for (int s = 0; s < blas::StagedView<T>::planes; ++s)
+        md::planes::copy(rv.row_segment(s, i, i, m - i),
+                         tv.row_segment(s, i, i, m - i));
+    build_staged_blocks();
   }
 
   // Dry-run price of the device factorization for an m-by-m diagonal block.
@@ -136,15 +153,17 @@ class BlockToeplitzSolver {
 
   // Device-priced diagonal solve on the cached factors: exactly the
   // factor-reusing correction solve of the refinement machinery, issued
-  // as the "refine Q^H r" + "refine back sub" launches.
+  // as the "refine Q^H r" + "refine back sub" launches against the
+  // STAGED-RESIDENT factor copies (limb-identical to the host-factor
+  // solve; the staged conformance suite pins it).
   blas::Vector<T> solve_diag_on(device::Device& dev, std::span<const T> r,
                                 int tile) const {
     if (static_cast<int>(r.size()) != block_dim())
       throw std::invalid_argument(
           "mdlsq: BlockToeplitzSolver rhs length must equal the block "
           "dimension");
-    return correction_solve_run<T>(dev, &qr_, r, block_dim(), block_dim(),
-                                   tile);
+    return correction_solve_staged_run<T>(dev, &staged_q_, &staged_rtop_, r,
+                                          block_dim(), block_dim(), tile);
   }
 
   // Device-priced series solve: per order one tiled convolution launch
@@ -201,19 +220,28 @@ class BlockToeplitzSolver {
             (jm * std::int64_t(m) * m + 2 * std::int64_t(m)) * esz, serial,
             blas::block_count(m, par), [&](int task) {
               const auto blk = blas::block_range(m, par, task);
+              // The band blocks are read from their staged-resident
+              // copies — same values, same reduction order.  Views are
+              // built once per task, outside the row loop.
+              std::vector<blas::StagedView<T>> tj(
+                  static_cast<std::size_t>(j_max) + 1);
+              for (int j = 1; j <= j_max; ++j)
+                tj[static_cast<std::size_t>(j)] =
+                    self->staged_blocks_[static_cast<std::size_t>(j)].view();
               for (int i = blk.begin; i < blk.end; ++i) {
                 for (int j = 1; j <= j_max; ++j) {
-                  const auto& tj = self->blocks_[static_cast<std::size_t>(j)];
                   const auto& xk = x[static_cast<std::size_t>(k - j)];
                   T s{};
-                  for (int c = 0; c < m; ++c) s += tj(i, c) * xk[c];
+                  for (int c = 0; c < m; ++c)
+                    s += tj[static_cast<std::size_t>(j)].get(i, c) * xk[c];
                   r[i] = r[i] - s;
                 }
               }
             });
       }
-      auto xk = correction_solve_run<T>(
-          dev, fn ? &self->qr_ : nullptr,
+      auto xk = correction_solve_staged_run<T>(
+          dev, fn ? &self->staged_q_ : nullptr,
+          fn ? &self->staged_rtop_ : nullptr,
           fn ? std::span<const T>(r) : std::span<const T>{}, m, m, tile);
       if (fn) x.push_back(std::move(xk));
     }
@@ -257,9 +285,32 @@ class BlockToeplitzSolver {
       for (int j = i; j < m; ++j) r_top_(i, j) = qr_.r(i, j);
   }
 
+  // The staged-resident mirrors every device-priced solve reads: the
+  // factors, the leading triangle, and the Toeplitz band blocks.  Built
+  // once at factor time (a host-side structural copy, like all staging
+  // conversions — the priced transfers are the ctor's stage()/unstage()
+  // and the per-solve residual/correction movement).  The device ctor
+  // keeps the factors it already holds resident and only needs the band
+  // blocks staged.
+  void build_residency() {
+    staged_q_ = device::Staged2D<T>::from_host(qr_.q);
+    staged_rtop_ = device::Staged2D<T>::from_host(r_top_);
+    build_staged_blocks();
+  }
+
+  void build_staged_blocks() {
+    staged_blocks_.clear();
+    staged_blocks_.reserve(blocks_.size());
+    for (const auto& blk : blocks_)
+      staged_blocks_.push_back(device::Staged2D<T>::from_host(blk));
+  }
+
   std::vector<blas::Matrix<T>> blocks_;
   QrFactors<T> qr_;
   blas::Matrix<T> r_top_;
+  device::Staged2D<T> staged_q_;
+  device::Staged2D<T> staged_rtop_;
+  std::vector<device::Staged2D<T>> staged_blocks_;
 };
 
 }  // namespace mdlsq::core

@@ -15,6 +15,21 @@
 //     "R+YWTC" adds — formula (15).
 // Stage names match the row legend of the paper's Tables 3-6.
 //
+// Staged-resident execution (DESIGN.md §8).  The factorization is the
+// staged-resident driver blocked_qr_staged_run: the input arrives as a
+// device::Staged2D (limb-planar, one plane of doubles per limb), every
+// intermediate — R, Q, Y, W, YWT, scratch — lives in staged storage for
+// the whole schedule, and the factors are RETURNED resident so downstream
+// launches (Q^H b, back substitution, factor-reusing correction solves)
+// read them without a host round trip.  Kernel bodies address the planes
+// through blas::StagedView and the layout-generic panel kernels of
+// blas/panel.hpp (panel_col_dots, panel_rank1_update, gemm_block), so the
+// same task-graph bodies run on host storage too — which is what the
+// staged-vs-host conformance suite pins limb-identical.  The host entry
+// points below wrap the driver in explicit priced stage()/unstage()
+// transfers; their schedules and transfer totals are unchanged from the
+// pre-resident code (the model always priced A in and Q, R out).
+//
 // Host execution engine (DESIGN.md §5).  The schedule above is a task
 // graph: each column of the panel factorization is a short sequential
 // chain (its reflector feeds the next column), while everything after the
@@ -38,10 +53,14 @@
 
 #include <cassert>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
+#include "blas/panel.hpp"
 #include "blas/vector_ops.hpp"
 #include "core/tally_rules.hpp"
 #include "device/launch.hpp"
@@ -69,11 +88,22 @@ struct BlockedQrOutput {
   blas::Matrix<T> r;  // M-by-C upper triangular (functional mode only)
 };
 
-// Shared driver.  `a` must be non-null in functional mode and may be null
-// in dry-run mode; M-by-C with C = NT*n, M >= C.
+// The factors left device-resident by the staged driver (functional mode
+// only; both empty after a dry run).
 template <class T>
-BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
-                                  const blas::Matrix<T>* a, int M, int C,
+struct StagedQr {
+  device::Staged2D<T> q;  // M-by-M unitary
+  device::Staged2D<T> r;  // M-by-C upper triangular
+};
+
+// Staged-resident driver: `a` is the staged input (consumed — its buffer
+// becomes R), non-null in functional mode and null in dry-run mode; the
+// factors are returned resident.  Launch schedule only — the explicit
+// stage()/unstage() transfers belong to the entry points, so a pipeline
+// that chains further resident launches does not pay phantom transfers.
+template <class T>
+StagedQr<T> blocked_qr_staged_run(device::Device& dev,
+                                  device::Staged2D<T>* a, int M, int C,
                                   int n) {
   using traits = blas::scalar_traits<T>;
   using RT = blas::real_of_t<T>;
@@ -83,22 +113,26 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
   assert(n >= 1 && C % n == 0 && M >= C);
   const int NT = C / n;
   const bool fn = dev.functional();
-  assert(!fn || a != nullptr);
   const std::int64_t esz = 8 * traits::doubles_per_element;
   // Tile tasks per launch: each task owns one contiguous output block.
   const int par = dev.parallelism();
 
-  device::Staged2D<T> R, Q, Y, W, YWT, SCR;
+  StagedQr<T> out;
+  device::Staged2D<T>& R = out.r;
+  device::Staged2D<T>& Q = out.q;
+  device::Staged2D<T> Y, W, YWT, SCR;
   if (fn) {
-    R = device::Staged2D<T>::from_host(*a);
-    Q = device::Staged2D<T>::from_host(blas::Matrix<T>::identity(M));
+    if (a == nullptr || a->rows() != M || a->cols() != C)
+      throw std::invalid_argument(
+          "mdlsq: blocked_qr staged input must be M-by-C");
+    R = std::move(*a);
+    Q = device::Staged2D<T>(M, M);
+    for (int i = 0; i < M; ++i) Q.set(i, i, T(1.0));
     Y = device::Staged2D<T>(M, n);
     W = device::Staged2D<T>(M, n);
     YWT = device::Staged2D<T>(M, M);
     SCR = device::Staged2D<T>(M, M);  // scratch for Q*WY^T and YWT*C
   }
-  // Wall-clock transfer model: A in, Q and R out.
-  dev.transfer((2 * std::int64_t(M) * C + std::int64_t(M) * M) * esz);
 
   std::vector<T> v(M), w(n), u(n);
   std::vector<RT> betas(n);
@@ -155,6 +189,10 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
 
       const int P = n - l - 1;  // trailing columns within the panel
       if (P > 0) {
+        // The trailing panel R[cg:M, cg+1 : cg+1+P] the two fan-out
+        // launches below address through the layout-generic kernels.
+        const auto pan = fn ? R.view(cg, cg + 1, L, P) : blas::StagedView<T>();
+        const auto vs = std::span<const T>(v.data(), static_cast<std::size_t>(L));
         {  // (b) w = beta (v^H R_panel) — one task per column block, each
            // column's dot reduced start-to-end inside its task
           const OpTally ops =
@@ -167,13 +205,8 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
               stage::betaRTv, P, n, ops, (std::int64_t(P) * L + L + P) * esz,
               serial, blas::block_count(P, par), [&](int task) {
                 const auto blk = blas::block_range(P, par, task);
-                for (int c = blk.begin; c < blk.end; ++c) {
-                  const int col = cg + 1 + c;
-                  T s{};
-                  for (int i = 0; i < L; ++i)
-                    s += blas::conj_of(v[i]) * R.get(cg + i, col);
-                  w[c] = s * betas[l];
-                }
+                blas::panel_col_dots<T>(pan, vs, betas[l], std::span<T>(w),
+                                        blk.begin, blk.end);
               });
         }
         {  // (c) R_panel -= v w — disjoint column blocks of R
@@ -184,11 +217,8 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
               (2 * std::int64_t(P) * L + L + P) * esz, serial,
               blas::block_count(P, par), [&](int task) {
                 const auto blk = blas::block_range(P, par, task);
-                for (int c = blk.begin; c < blk.end; ++c) {
-                  const int col = cg + 1 + c;
-                  for (int i = 0; i < L; ++i)
-                    R.set(cg + i, col, R.get(cg + i, col) - v[i] * w[c]);
-                }
+                blas::panel_rank1_update<T>(pan, vs, std::span<const T>(w),
+                                            blk.begin, blk.end);
               });
         }
       }
@@ -252,9 +282,9 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
 
     // ---- stage 3: update Q (formula (14)) --------------------------------
     {  // YWT = Y W^H, nonzero only on the active [r0,M) x [r0,M) block
-      if (fn)  // clear the stale previous tile's active block (no md ops)
-        for (int i = 0; i < M; ++i)
-          for (int j = 0; j < M; ++j) YWT.set(i, j, T{});
+      if (fn)  // clear the stale previous tile's active block: one
+               // plane-contiguous sweep (md::planes), no md ops
+        YWT.fill_zero();
       const OpTally ops = O::fma() * (std::int64_t(Lk) * Lk * n);
       dev.launch_tiled(
           stage::YWT, Lk * ceil_div(Lk, n), n, ops,
@@ -328,10 +358,30 @@ BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
     }
   }
 
+  return out;
+}
+
+// Shared host-boundary driver.  `a` must be non-null in functional mode
+// and may be null in dry-run mode; M-by-C with C = NT*n, M >= C.  Stages
+// A in and unstages Q and R out as explicit priced transfers — the same
+// (2 M C + M M) element total the pre-resident pipeline declared.
+template <class T>
+BlockedQrOutput<T> blocked_qr_run(device::Device& dev,
+                                  const blas::Matrix<T>* a, int M, int C,
+                                  int n) {
+  const bool fn = dev.functional();
+  assert(!fn || a != nullptr);
   BlockedQrOutput<T> out;
   if (fn) {
-    out.q = Q.to_host();
-    out.r = R.to_host();
+    device::Staged2D<T> sa = dev.stage(*a);
+    StagedQr<T> f = blocked_qr_staged_run<T>(dev, &sa, M, C, n);
+    out.q = dev.unstage(f.q);
+    out.r = dev.unstage(f.r);
+  } else {
+    dev.price_staging<T>(M, C);
+    blocked_qr_staged_run<T>(dev, nullptr, M, C, n);
+    dev.price_staging<T>(M, M);
+    dev.price_staging<T>(M, C);
   }
   return out;
 }
@@ -341,6 +391,21 @@ template <class T>
 BlockedQrOutput<T> blocked_qr(device::Device& dev, const blas::Matrix<T>& a,
                               int tile) {
   return blocked_qr_run<T>(dev, &a, a.rows(), a.cols(), tile);
+}
+
+// Staged-resident entry point: factor an already-staged matrix (consumed)
+// and keep the factors resident — the caller owns the stage()/unstage()
+// transfer pricing.  Functional mode only.
+template <class T>
+StagedQr<T> blocked_qr_staged(device::Device& dev, device::Staged2D<T>&& a,
+                              int tile) {
+  if (!dev.functional())
+    throw std::invalid_argument(
+        "mdlsq: blocked_qr_staged needs a functional device (price dry "
+        "schedules with blocked_qr_dry)");
+  const int M = a.rows(), C = a.cols();
+  device::Staged2D<T> local = std::move(a);
+  return blocked_qr_staged_run<T>(dev, &local, M, C, tile);
 }
 
 // Dry-run entry point: walk and price the schedule for given dimensions.

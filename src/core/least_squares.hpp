@@ -3,10 +3,21 @@
 // the leading C-by-C block of R — the paper's headline pipeline (Section
 // 4.9, Table 11).  Solves min_x ||b - A x||_2 for M-by-C matrices, M >= C,
 // real or complex, in any multiple-double precision.
+//
+// Staged-resident pipeline (DESIGN.md §8): A and b are staged ONCE
+// (explicit priced transfers), the QR factors stay device-resident, the
+// Q^H b launch reads the resident Q, the leading triangle of the resident
+// R is copied plane-contiguously into the back-substitution operand (a
+// device-side structural copy — no multiple-double operations, no
+// transfer), and only the solution and the factors are unstaged at the
+// end.  No intermediate result round-trips through a host blas::Matrix;
+// the launch schedule (stages, op tallies, kernel times) is identical to
+// the pre-resident pipeline — the refactor moves memory, not math.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "blas/gemm.hpp"
@@ -42,12 +53,27 @@ LeastSquaresResult<T> least_squares_run(device::Device& dev,
   const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
 
   LeastSquaresResult<T> out;
-  BlockedQrOutput<T> f = blocked_qr_run<T>(dev, a, M, C, tile);
+
+  // Stage the inputs once; every intermediate below stays resident.
+  device::Staged2D<T> sa;
+  device::Staged1D<T> sb;
+  if (fn) {
+    sa = dev.stage(*a);
+    sb = dev.stage(*b);
+  } else {
+    dev.price_staging<T>(M, C);
+    dev.price_staging<T>(M, 1);
+  }
+
+  StagedQr<T> f =
+      blocked_qr_staged_run<T>(dev, fn ? &sa : nullptr, M, C, tile);
   out.qr_kernel_ms = dev.kernel_ms();
 
-  // y = (Q^H b)[0:C], one block per output entry; each y_j is one whole
-  // dot product, so the launch fans out over column blocks (DESIGN.md §5).
-  blas::Vector<T> y(C);
+  // y = (Q^H b)[0:C] against the RESIDENT Q, one block per output entry;
+  // each y_j is one whole dot product, so the launch fans out over column
+  // blocks (DESIGN.md §5).
+  device::Staged1D<T> y;
+  if (fn) y = device::Staged1D<T>(C);
   {
     const md::OpTally ops = O::fma() * (std::int64_t(M) * C);
     const md::OpTally serial = O::fma() * ceil_div(M, tile) + O::add() * 6;
@@ -55,25 +81,40 @@ LeastSquaresResult<T> least_squares_run(device::Device& dev,
         stage::qhb, C, tile, ops, (std::int64_t(M) * C + M + C) * esz, serial,
         blas::block_count(C, dev.parallelism()), [&](int task) {
           const auto blk = blas::block_range(C, dev.parallelism(), task);
+          const auto qv = f.q.view();
+          const auto bv = sb.view();
           for (int j = blk.begin; j < blk.end; ++j) {
             T s{};
             for (int i = 0; i < M; ++i)
-              s += blas::conj_of(f.q(i, j)) * (*b)[i];
-            y[j] = s;
+              s += blas::conj_of(qv.get(i, j)) * bv.get(i, 0);
+            y.set(j, s);
           }
         });
   }
 
   if (fn) {
-    blas::Matrix<T> r_top(C, C);
+    // The back substitution inverts diagonal tiles in place, so it runs
+    // on a device-side copy of R's leading triangle (plane-contiguous
+    // row-segment copies; zeros elsewhere) — the resident factors stay
+    // intact for reuse.
+    device::Staged2D<T> rtop(C, C);
+    const auto rv = f.r.view();
+    const auto tv = rtop.view();
     for (int i = 0; i < C; ++i)
-      for (int j = i; j < C; ++j) r_top(i, j) = f.r(i, j);
-    out.x = tiled_back_sub_run<T>(dev, &r_top, &y, C / tile, tile);
-    out.factors = std::move(f);
+      for (int s = 0; s < blas::StagedView<T>::planes; ++s)
+        md::planes::copy(rv.row_segment(s, i, i, C - i),
+                         tv.row_segment(s, i, i, C - i));
+    tiled_back_sub_staged_run<T>(dev, &rtop, &y, C / tile, tile);
+    out.bs_kernel_ms = dev.kernel_ms() - out.qr_kernel_ms;
+    out.x = dev.unstage(y);
+    out.factors = BlockedQrOutput<T>{dev.unstage(f.q), dev.unstage(f.r)};
   } else {
-    tiled_back_sub_run<T>(dev, nullptr, nullptr, C / tile, tile);
+    tiled_back_sub_staged_run<T>(dev, nullptr, nullptr, C / tile, tile);
+    out.bs_kernel_ms = dev.kernel_ms() - out.qr_kernel_ms;
+    dev.price_staging<T>(C, 1);
+    dev.price_staging<T>(M, M);
+    dev.price_staging<T>(M, C);
   }
-  out.bs_kernel_ms = dev.kernel_ms() - out.qr_kernel_ms;
   return out;
 }
 

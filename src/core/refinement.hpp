@@ -87,6 +87,60 @@ blas::Vector<TL> correction_solve_run(device::Device& dev,
   return dx;
 }
 
+// Staged-resident correction solve: the identical two launches issued
+// against RESIDENT factors — `q` the staged m-by-m unitary factor, `rtop`
+// the staged c-by-c leading triangle of R (zeros below the diagonal) —
+// through the layout-generic kernels of blas/panel.hpp.  Null factors
+// (and empty `r`) in dry-run mode.  Same declared tallies, bytes and
+// residual-in/correction-out transfer as correction_solve_run, and the
+// same multiple-double operation order, so the result is limb-identical
+// to a solve against the unstaged factors (the staged conformance suite
+// pins it).
+template <class T>
+blas::Vector<T> correction_solve_staged_run(device::Device& dev,
+                                            const device::Staged2D<T>* q,
+                                            const device::Staged2D<T>* rtop,
+                                            std::span<const T> r, int m,
+                                            int c, int tile) {
+  using O = ops_of<T>;
+  const bool fn = dev.functional();
+  if (fn && (q == nullptr || rtop == nullptr ||
+             static_cast<int>(r.size()) != m || q->rows() != m ||
+             q->cols() < c || rtop->rows() != c || rtop->cols() != c))
+    throw std::invalid_argument(
+        "mdlsq: staged correction solve needs resident factors and a "
+        "matching residual");
+  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+
+  // Wall-clock transfer model: residual in, correction out.
+  dev.transfer((std::int64_t(m) + c) * esz);
+
+  blas::Vector<T> y(c);
+  {
+    const md::OpTally ops = O::fma() * (std::int64_t(m) * c);
+    const md::OpTally serial = O::fma() * ceil_div(m, tile) + O::add() * 6;
+    dev.launch(stage::ref_qhr, c, tile, ops,
+               (std::int64_t(m) * c + m + c) * esz, serial, [&] {
+                 blas::gemv_adjoint_cols<T>(q->view(), r, std::span<T>(y), 0,
+                                            c);
+               });
+  }
+
+  blas::Vector<T> dx;
+  {
+    const md::OpTally ops =
+        O::fms() * (std::int64_t(c) * (c - 1) / 2) + O::div() * c;
+    // The solve is one dependency chain from the last row up.
+    const md::OpTally serial = (O::fms() + O::div()) * c;
+    dev.launch(stage::ref_bs, 1, tile, ops,
+               (std::int64_t(c) * c / 2 + 2 * c) * esz, serial, [&] {
+                 dx = blas::back_substitute_view<T>(rtop->view(),
+                                                    std::span<const T>(y));
+               });
+  }
+  return dx;
+}
+
 // Dry-run pricing of one correction solve for given dimensions.
 template <class TL>
 void correction_solve_dry(device::Device& dev, int m, int c, int tile) {

@@ -16,6 +16,17 @@
 // the bench harness prints the paper's launch formula alongside.
 // Stage names match the row legend of the paper's Tables 7-9.
 //
+// Staged-resident execution (DESIGN.md §8): the driver
+// tiled_back_sub_staged_run works IN PLACE on staged storage — U's
+// diagonal tiles are overwritten by their inverses (the paper's
+// registers-to-global write-back) and the staged right-hand side becomes
+// the solution — so a pipeline that already holds R and y resident (the
+// least-squares solver) chains into it without a host round trip.  The
+// tile inversion body is the layout-generic blas::invert_upper_tile.
+// The host entry points wrap the driver in explicit priced
+// stage()/unstage() transfers, with totals unchanged from the
+// pre-resident code.
+//
 // Host execution engine (DESIGN.md §5): the diagonal-tile inversions are
 // independent, and within one diagonal step i every row block j < i of
 // the update wave owns a disjoint slice of the right-hand side, so both
@@ -26,10 +37,13 @@
 
 #include <cassert>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
+#include "blas/panel.hpp"
 #include "core/tally_rules.hpp"
 #include "device/launch.hpp"
 #include "device/staged.hpp"
@@ -47,11 +61,14 @@ inline constexpr std::int64_t bs_paper_launches(int nt) noexcept {
   return 1 + std::int64_t(nt) * (nt + 1) / 2;
 }
 
-// Shared driver; `u` and `b` non-null in functional mode.
+// Staged-resident driver: solves U x = b in place — on entry `x` holds
+// the staged right-hand side, on return the solution; `u`'s diagonal
+// tiles are replaced by their inverses.  Both non-null in functional
+// mode, null in dry-run mode.  Launch schedule only; the caller owns the
+// stage()/unstage() transfer pricing.
 template <class T>
-blas::Vector<T> tiled_back_sub_run(device::Device& dev,
-                                   const blas::Matrix<T>* u,
-                                   const blas::Vector<T>* b, int nt, int n) {
+void tiled_back_sub_staged_run(device::Device& dev, device::Staged2D<T>* u,
+                               device::Staged1D<T>* x, int nt, int n) {
   using traits = blas::scalar_traits<T>;
   using O = ops_of<T>;
   using md::OpTally;
@@ -59,18 +76,12 @@ blas::Vector<T> tiled_back_sub_run(device::Device& dev,
   assert(nt >= 1 && n >= 1);
   const int dim = nt * n;
   const bool fn = dev.functional();
-  assert(!fn || (u != nullptr && b != nullptr &&
-                 u->rows() == dim && u->cols() == dim &&
-                 static_cast<int>(b->size()) == dim));
+  if (fn && (u == nullptr || x == nullptr || u->rows() != dim ||
+             u->cols() != dim || x->size() != dim))
+    throw std::invalid_argument(
+        "mdlsq: tiled_back_sub staged operands must be NT*n square and "
+        "matching");
   const std::int64_t esz = 8 * traits::doubles_per_element;
-
-  device::Staged2D<T> U;
-  device::Staged1D<T> X;
-  if (fn) {
-    U = device::Staged2D<T>::from_host(*u);
-    X = device::Staged1D<T>::from_host(*b);
-  }
-  dev.transfer((std::int64_t(dim) * dim + 2 * dim) * esz);
   const int par = dev.parallelism();
 
   {  // stage 1: invert all diagonal tiles in place
@@ -89,22 +100,13 @@ blas::Vector<T> tiled_back_sub_run(device::Device& dev,
           std::vector<T> vinv(std::size_t(n) * n);
           for (int tile = blk.begin; tile < blk.end; ++tile) {
             const int d = tile * n;
+            const auto ut = u->view(d, d, n, n);
             // Solve U_i v = e_k per column k (thread k).
-            for (int k = 0; k < n; ++k) {
-              std::vector<T> v(n);
-              v[k] = T(1.0) / U.get(d + k, d + k);
-              for (int j = k - 1; j >= 0; --j) {
-                T s{};
-                for (int t = j + 1; t <= k; ++t)
-                  s += U.get(d + j, d + t) * v[t];
-                v[j] = -s / U.get(d + j, d + j);
-              }
-              for (int j = 0; j < n; ++j) vinv[std::size_t(j) * n + k] = v[j];
-            }
+            blas::invert_upper_tile<T>(ut, std::span<T>(vinv));
             // Replace the tile with its inverse (registers -> global).
             for (int i = 0; i < n; ++i)
               for (int j = 0; j < n; ++j)
-                U.set(d + i, d + j, vinv[std::size_t(i) * n + j]);
+                ut.set(i, j, vinv[std::size_t(i) * n + j]);
           }
         });
   }
@@ -117,13 +119,11 @@ blas::Vector<T> tiled_back_sub_run(device::Device& dev,
       const OpTally ops = O::fma() * (std::int64_t(n) * n);
       dev.launch(stage::bs_multiply, 1, n, ops,
                  (std::int64_t(n) * n + 2 * n) * esz, O::fma() * n, [&] {
-                   for (int r = 0; r < n; ++r) {
-                     T s{};
-                     for (int t = 0; t < n; ++t)
-                       s += U.get(d + r, d + t) * X.get(d + t);
-                     xi[r] = s;
-                   }
-                   for (int r = 0; r < n; ++r) X.set(d + r, xi[r]);
+                   blas::gemv_rows<T>(
+                       u->view(d, d, n, n),
+                       [&](int t) { return x->get(d + t); },
+                       [&](int r, const T& s) { xi[std::size_t(r)] = s; });
+                   for (int r = 0; r < n; ++r) x->set(d + r, xi[r]);
                  });
     }
     if (i > 0) {  // b_j -= A_{j,i} x_i for all j < i, one concurrent wave:
@@ -141,14 +141,37 @@ blas::Vector<T> tiled_back_sub_run(device::Device& dev,
               for (int r = 0; r < n; ++r) {
                 T s{};
                 for (int t = 0; t < n; ++t)
-                  s += U.get(j * n + r, d + t) * X.get(d + t);
-                X.set(j * n + r, X.get(j * n + r) - s);
+                  s += u->get(j * n + r, d + t) * x->get(d + t);
+                x->set(j * n + r, x->get(j * n + r) - s);
               }
           });
     }
   }
+}
 
-  return fn ? X.to_host() : blas::Vector<T>{};
+// Shared host-boundary driver; `u` and `b` non-null in functional mode.
+// Stages U and b in and unstages x out — the (dim^2 + 2 dim) element
+// total the pre-resident pipeline declared.
+template <class T>
+blas::Vector<T> tiled_back_sub_run(device::Device& dev,
+                                   const blas::Matrix<T>* u,
+                                   const blas::Vector<T>* b, int nt, int n) {
+  const int dim = nt * n;
+  const bool fn = dev.functional();
+  assert(!fn || (u != nullptr && b != nullptr &&
+                 u->rows() == dim && u->cols() == dim &&
+                 static_cast<int>(b->size()) == dim));
+  if (fn) {
+    device::Staged2D<T> su = dev.stage(*u);
+    device::Staged1D<T> sx = dev.stage(*b);
+    tiled_back_sub_staged_run<T>(dev, &su, &sx, nt, n);
+    return dev.unstage(sx);
+  }
+  dev.price_staging<T>(dim, dim);
+  dev.price_staging<T>(dim, 1);
+  tiled_back_sub_staged_run<T>(dev, nullptr, nullptr, nt, n);
+  dev.price_staging<T>(dim, 1);
+  return {};
 }
 
 // Functional entry point: solve U x = b.

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "device/device_spec.hpp"
+#include "device/staged.hpp"
 #include "device/timing_model.hpp"
 #include "md/op_counts.hpp"
 #include "util/thread_pool.hpp"
@@ -138,6 +139,42 @@ class Device {
 
   // Records a host <-> device transfer of `bytes` (wall-clock model only).
   void transfer(std::int64_t bytes) noexcept { transfer_bytes_ += bytes; }
+
+  // --- staged residency (DESIGN.md §8) -----------------------------------
+  // stage()/unstage() are the EXPLICIT priced host<->device transfers of
+  // the staged-resident memory model: a pipeline stages its inputs once,
+  // keeps every intermediate resident across launches, and unstages only
+  // final results.  price_staging() is the data-free twin: it records the
+  // identical transfer, so dry-run walks of the same driver price the
+  // same wall clock the functional walk does.
+
+  // Price one host<->device staging of rows*cols elements of T.
+  template <class T>
+  void price_staging(std::int64_t rows, std::int64_t cols) noexcept {
+    transfer(rows * cols * blas::scalar_traits<T>::doubles_per_element *
+             static_cast<std::int64_t>(sizeof(double)));
+  }
+
+  template <class T>
+  Staged2D<T> stage(const blas::Matrix<T>& m) {
+    price_staging<T>(m.rows(), m.cols());
+    return Staged2D<T>::from_host(m);
+  }
+  template <class T>
+  Staged1D<T> stage(const blas::Vector<T>& v) {
+    price_staging<T>(static_cast<std::int64_t>(v.size()), 1);
+    return Staged1D<T>::from_host(v);
+  }
+  template <class T>
+  blas::Matrix<T> unstage(const Staged2D<T>& s) {
+    price_staging<T>(s.rows(), s.cols());
+    return s.to_host();
+  }
+  template <class T>
+  blas::Vector<T> unstage(const Staged1D<T>& s) {
+    price_staging<T>(s.size(), 1);
+    return s.to_host();
+  }
 
   const std::vector<StageStats>& stages() const noexcept { return stages_; }
 

@@ -4,17 +4,30 @@
 // that adjacent threads read adjacent doubles (memory coalescing).
 // Complex data keeps separate real and imaginary stages.
 //
-// Staged2D is the device-side container the accelerated kernels operate
-// on; conversion to and from the host Matrix is the "transfer" of the
-// wall-clock model.
+// Staged2D/Staged1D are the device-side containers the kernels operate
+// on.  Since the staged-resident refactor (DESIGN.md §8) they are the
+// CANONICAL kernel substrate: pipelines stage inputs once, keep every
+// intermediate resident across launches (kernels address them through
+// blas::StagedView), and unstage only final results — conversion to and
+// from the host Matrix is the "transfer" of the wall-clock model, priced
+// explicitly by Device::stage()/unstage().
+//
+// Shape arguments are validated with thrown std::invalid_argument (the
+// convention core/ adopted; asserts would vanish under NDEBUG while
+// these containers sit on every service path).  Per-element indices
+// remain asserts — they are the innermost kernel loops.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "blas/matrix.hpp"
 #include "blas/scalar.hpp"
+#include "blas/staged_view.hpp"
+#include "md/planes.hpp"
 
 namespace mdlsq::device {
 
@@ -27,13 +40,14 @@ class Staged2D {
  public:
   Staged2D() = default;
   Staged2D(int rows, int cols)
-      : rows_(rows), cols_(cols), plane_(std::size_t(rows) * cols),
+      : rows_(rows), cols_(cols), plane_(checked_plane(rows, cols)),
         d_(plane_ * kPlanes) {}
 
   int rows() const noexcept { return rows_; }
   int cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return plane_ == 0; }
   std::int64_t bytes() const noexcept {
-    return static_cast<std::int64_t>(d_.size()) * 8;
+    return static_cast<std::int64_t>(d_.size()) * sizeof(double);
   }
 
   T get(int i, int j) const noexcept {
@@ -64,24 +78,78 @@ class Staged2D {
     }
   }
 
-  // Stage plane s as a raw span (tests verify the coalesced layout).
+  // Stage plane s as a raw pointer (tests verify the coalesced layout).
   const double* plane(int s) const noexcept { return d_.data() + s * plane_; }
+  // The mutable contiguous span of stage plane s — the md::planes handle.
+  std::span<double> plane_span(int s) {
+    if (s < 0 || s >= kPlanes)
+      throw std::invalid_argument("mdlsq: Staged2D plane index out of range");
+    return {d_.data() + s * plane_, plane_};
+  }
+  std::span<const double> plane_span(int s) const {
+    if (s < 0 || s >= kPlanes)
+      throw std::invalid_argument("mdlsq: Staged2D plane index out of range");
+    return {d_.data() + s * plane_, plane_};
+  }
+
+  // Zero every plane (plane-contiguous; no multiple-double operations).
+  void fill_zero() noexcept {
+    md::planes::fill({d_.data(), d_.size()}, 0.0);
+  }
+
+  // Kernel accessor over the whole buffer or a rectangular window.
+  // Views alias the buffer; the const overloads hand out mutable views
+  // for read-only kernel use (a view never reallocates or resizes).
+  blas::StagedView<T> view() { return view(0, 0, rows_, cols_); }
+  blas::StagedView<T> view(int r0, int c0, int rows, int cols) {
+    return blas::StagedView<T>(d_.data(), plane_, cols_, r0, c0, rows, cols);
+  }
+  blas::StagedView<T> view() const { return view(0, 0, rows_, cols_); }
+  blas::StagedView<T> view(int r0, int c0, int rows, int cols) const {
+    return blas::StagedView<T>(const_cast<double*>(d_.data()), plane_, cols_,
+                               r0, c0, rows, cols);
+  }
 
   static Staged2D from_host(const blas::Matrix<T>& m) {
     Staged2D s(m.rows(), m.cols());
-    for (int i = 0; i < m.rows(); ++i)
-      for (int j = 0; j < m.cols(); ++j) s.set(i, j, m(i, j));
+    s.assign_host(m);
     return s;
+  }
+
+  // In-place restaging; the shapes must match.
+  void assign_host(const blas::Matrix<T>& m) {
+    if (m.rows() != rows_ || m.cols() != cols_)
+      throw std::invalid_argument(
+          "mdlsq: Staged2D::assign_host shape mismatch");
+    for (int i = 0; i < rows_; ++i)
+      for (int j = 0; j < cols_; ++j) set(i, j, m(i, j));
   }
 
   blas::Matrix<T> to_host() const {
     blas::Matrix<T> m(rows_, cols_);
-    for (int i = 0; i < rows_; ++i)
-      for (int j = 0; j < cols_; ++j) m(i, j) = get(i, j);
+    store_host(m);
     return m;
   }
 
+  // Unstage into an existing host matrix; the shapes must match.
+  void store_host(blas::Matrix<T>& m) const {
+    if (m.rows() != rows_ || m.cols() != cols_)
+      throw std::invalid_argument(
+          "mdlsq: Staged2D::store_host shape mismatch");
+    for (int i = 0; i < rows_; ++i)
+      for (int j = 0; j < cols_; ++j) m(i, j) = get(i, j);
+  }
+
  private:
+  // Validates BEFORE the plane storage allocates (a negative dimension
+  // must throw, not wrap around to a huge size_t allocation).
+  static std::size_t checked_plane(int rows, int cols) {
+    if (rows < 0 || cols < 0)
+      throw std::invalid_argument(
+          "mdlsq: Staged2D dimensions must be non-negative");
+    return std::size_t(rows) * cols;
+  }
+
   std::size_t idx(int i, int j) const noexcept {
     assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return std::size_t(i) * cols_ + j;
@@ -92,26 +160,51 @@ class Staged2D {
   std::vector<double> d_;
 };
 
-// A staged vector is a one-column staged matrix.
+// A staged vector is a one-column staged matrix; every plane is fully
+// contiguous, so md::planes kernels apply to whole limb planes.
 template <class T>
 class Staged1D {
  public:
   Staged1D() = default;
   explicit Staged1D(int n) : m_(n, 1) {}
   int size() const noexcept { return m_.rows(); }
+  bool empty() const noexcept { return m_.empty(); }
   T get(int i) const noexcept { return m_.get(i, 0); }
   void set(int i, const T& v) noexcept { m_.set(i, 0, v); }
   std::int64_t bytes() const noexcept { return m_.bytes(); }
 
+  std::span<double> plane_span(int s) { return m_.plane_span(s); }
+  std::span<const double> plane_span(int s) const { return m_.plane_span(s); }
+
+  blas::StagedView<T> view() { return m_.view(); }
+  blas::StagedView<T> view() const { return m_.view(); }
+  blas::StagedView<T> view(int i0, int n) { return m_.view(i0, 0, n, 1); }
+  blas::StagedView<T> view(int i0, int n) const { return m_.view(i0, 0, n, 1); }
+
   static Staged1D from_host(const blas::Vector<T>& v) {
     Staged1D s(static_cast<int>(v.size()));
-    for (std::size_t i = 0; i < v.size(); ++i) s.set(static_cast<int>(i), v[i]);
+    s.assign_host(v);
     return s;
   }
+
+  void assign_host(const blas::Vector<T>& v) {
+    if (static_cast<int>(v.size()) != size())
+      throw std::invalid_argument(
+          "mdlsq: Staged1D::assign_host length mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i) set(static_cast<int>(i), v[i]);
+  }
+
   blas::Vector<T> to_host() const {
     blas::Vector<T> v(size());
-    for (int i = 0; i < size(); ++i) v[i] = get(i);
+    store_host(v);
     return v;
+  }
+
+  void store_host(blas::Vector<T>& v) const {
+    if (static_cast<int>(v.size()) != size())
+      throw std::invalid_argument(
+          "mdlsq: Staged1D::store_host length mismatch");
+    for (int i = 0; i < size(); ++i) v[static_cast<std::size_t>(i)] = get(i);
   }
 
  private:

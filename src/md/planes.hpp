@@ -1,0 +1,105 @@
+// Plane-wise batched primitives — the arithmetic substrate of the staged
+// (limb-planar) memory layout of the paper's device kernels (PAPER.md,
+// end of Section 2; DESIGN.md §8).
+//
+// A staged multiple-double array keeps limb s of every element in one
+// contiguous plane of doubles, so batched operations come in two kinds:
+//
+//  * PLANE kernels (two_sum, scale2, axpy, copy, fill, negate) run one
+//    limb-level double operation across a whole contiguous
+//    std::span<double> plane.  The inner loops carry no branches and no
+//    cross-iteration dependencies, so the compiler auto-vectorizes them
+//    — this is the host analogue of the coalesced device access the
+//    staged layout buys.  Plane kernels execute *below* the Table 1
+//    granularity of the cost model: they never call a multiple-double
+//    operator, so their exactly-declared tally is the EMPTY OpTally
+//    (tally() below), and using them inside a launch body never
+//    perturbs the measured-vs-analytic equality the suite asserts.
+//    They are exact: two_sum is the Knuth EFT per lane, scale2/negate
+//    are sign/exponent manipulations, copy/fill move bits.
+//
+// Full multiple-double operations on staged data go through
+// blas::StagedView element access instead: limbs are gathered from the
+// planes (the device's per-thread register load), the mdreal/mdcomplex
+// operator executes (and reports itself to the thread-local tally as
+// everywhere else), and the result limbs are scattered back — see
+// blas/staged_view.hpp and the panel kernels of blas/panel.hpp.
+//
+// mp++'s contiguous small-value buffer (see /root/related, sailfish009/
+// mppp) is the reference idiom: hot-loop data stays flat, structure is
+// reconstructed only at the operation boundary.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "md/eft.hpp"
+#include "md/op_counts.hpp"
+
+namespace mdlsq::md::planes {
+
+namespace detail {
+inline void require_same_size(std::size_t a, std::size_t b,
+                              const char* what) {
+  if (a != b)
+    throw std::invalid_argument(std::string("mdlsq: planes::") + what +
+                                " spans must have equal length");
+}
+}  // namespace detail
+
+// The declared multiple-double tally of every plane kernel: empty.  A
+// plane kernel is limb-level data movement or an error-free transform;
+// the Table 1 cost model prices multiple-double *operations*, and a
+// plane kernel executes none.
+constexpr OpTally tally() noexcept { return {}; }
+
+// s[i] = fl(a[i] + b[i]), e[i] the exact error (Knuth two_sum per lane).
+// Branch-free and lane-independent: auto-vectorizes.
+inline void two_sum(std::span<const double> a, std::span<const double> b,
+                    std::span<double> s, std::span<double> e) {
+  detail::require_same_size(a.size(), b.size(), "two_sum");
+  detail::require_same_size(a.size(), s.size(), "two_sum");
+  detail::require_same_size(a.size(), e.size(), "two_sum");
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = a[i], y = b[i];
+    const double sum = x + y;
+    const double bb = sum - x;
+    s[i] = sum;
+    e[i] = (x - (sum - bb)) + (y - bb);
+  }
+}
+
+// x[i] = ldexp(x[i], e): the exact power-of-two scaling every limb of a
+// staged array shares (blas::scale2 applied plane-contiguously).
+inline void scale2(std::span<double> x, int e) {
+  for (double& v : x) v = std::ldexp(v, e);
+}
+
+// y[i] += a * x[i] on one plane of doubles.
+inline void axpy(double a, std::span<const double> x, std::span<double> y) {
+  detail::require_same_size(x.size(), y.size(), "axpy");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+// x[i] = -x[i]: exact (sign flip) — the plane-wise form of mdreal's
+// unary minus, which negates every limb.
+inline void negate(std::span<double> x) {
+  for (double& v : x) v = -v;
+}
+
+inline void fill(std::span<double> x, double v) {
+  for (double& d : x) d = v;
+}
+
+inline void copy(std::span<const double> src, std::span<double> dst) {
+  detail::require_same_size(src.size(), dst.size(), "copy");
+  if (!src.empty())
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(double));
+}
+
+}  // namespace mdlsq::md::planes

@@ -5,6 +5,7 @@ committed bench/baseline.json and fail on regression.
 Usage:
     tools/check_bench.py NEW_JSON BASELINE_JSON [--tolerance 0.25]
                          [--min-wall-ms 100] [--extra MORE_JSON ...]
+                         [--min-staged-speedup 1.0]
 
 What is gated, and why (DESIGN.md §6):
 
@@ -31,6 +32,15 @@ What is gated, and why (DESIGN.md §6):
   (its ratios are ~1.0 there): a change that silently disables the
   threaded path keeps the ratio at 1.0 and passes the relative gate,
   but not the floor.
+* staged_speedup (interleaved wall / staged-resident wall, the layout
+  cases of bench_suite) — gated like the threading speedup: a relative
+  drop beyond the tolerance against the baseline fails (when the
+  interleaved wall clears --min-wall-ms on both sides), and
+  --min-staged-speedup (default 1.0) is an ABSOLUTE floor: staged
+  residency must never be slower than per-launch interleaved
+  round-tripping.  Unlike the threading floor it applies on any host —
+  residency saves work even on one core — so it is not
+  hardware_concurrency-gated.
 * bit_identical / tally_conserved — must be true in the new run
   (the bench binary also enforces this; the gate double-checks the
   artifact CI archives).
@@ -92,6 +102,11 @@ def main():
                     help="comma-separated 'kind' or 'kind/precision' "
                          "entries the absolute floor applies to "
                          "(default: qr/8d)")
+    ap.add_argument("--min-staged-speedup", type=float, default=1.0,
+                    help="absolute floor on the staged-resident vs "
+                         "interleaved ratio of layout cases whose "
+                         "interleaved wall clears --min-wall-ms "
+                         "(0 = disabled)")
     ap.add_argument("--extra", action="append", default=[],
                     help="additional bench JSON whose cases join the new "
                          "run before gating (repeatable)")
@@ -144,12 +159,21 @@ def main():
                 f"({100.0 * (1.0 - nm / bm):.1f}% faster) — consider "
                 f"refreshing the baseline")
 
-        if (b.get("seq_wall_ms", 0.0) >= args.min_wall_ms
-                and n.get("seq_wall_ms", 0.0) >= args.min_wall_ms):
-            bs, ns = b.get("speedup", 0.0), n.get("speedup", 0.0)
+        walls_clear = (b.get("seq_wall_ms", 0.0) >= args.min_wall_ms
+                       and n.get("seq_wall_ms", 0.0) >= args.min_wall_ms)
+        if walls_clear:
+            # One relative wall-ratio gate per case: staged_speedup
+            # (interleaved/staged, the layout cases) where present,
+            # otherwise the threading speedup.  Layout cases carry the
+            # same value in both fields today, so gating one of them
+            # keeps the signal without a duplicate check.
+            ratio_key, label = (("staged_speedup", "staged")
+                                if "staged_speedup" in b
+                                else ("speedup", "threading"))
+            bs, ns = b.get(ratio_key, 0.0), n.get(ratio_key, 0.0)
             if bs > 0 and ns < bs * (1.0 - tol):
                 failures.append(
-                    f"{name}: threading speedup {ns:.2f}x vs baseline "
+                    f"{name}: {label} speedup {ns:.2f}x vs baseline "
                     f"{bs:.2f}x (-{100.0 * (1.0 - ns / bs):.1f}% > "
                     f"{100.0 * tol:.0f}%)")
         if (floor_active
@@ -160,6 +184,19 @@ def main():
             failures.append(
                 f"{name}: threading speedup {n.get('speedup', 0.0):.2f}x "
                 f"below the absolute floor {args.min_speedup:.2f}x")
+
+    # The absolute staged floor covers EVERY new layout case, baselined
+    # or not — a fresh layout case must not ship slower than interleaved.
+    if args.min_staged_speedup > 0.0:
+        for key in sorted(new):
+            n = new[key]
+            if ("staged_speedup" in n
+                    and n.get("seq_wall_ms", 0.0) >= args.min_wall_ms
+                    and n["staged_speedup"] < args.min_staged_speedup):
+                failures.append(
+                    "/".join(str(k) for k in key) +
+                    f": staged speedup {n['staged_speedup']:.2f}x below "
+                    f"the absolute floor {args.min_staged_speedup:.2f}x")
 
     for key in sorted(set(new) - set(base)):
         notes.append("/".join(str(k) for k in key) +

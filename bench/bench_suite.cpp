@@ -28,6 +28,7 @@
 #include "blas/generate.hpp"
 #include "core/least_squares.hpp"
 #include "core/refinement.hpp"
+#include "md/simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace mdlsq;
@@ -36,7 +37,7 @@ using bench::now_ms;
 namespace {
 
 struct CaseResult {
-  std::string kind;       // "qr" | "backsub" | "lsq" | "layout"
+  std::string kind;       // "qr" | "backsub" | "lsq" | "layout" | "simd"
   std::string precision;  // Table 1 row name
   int rows = 0, cols = 0, tile = 0;
   double modeled_kernel_ms = 0;
@@ -46,6 +47,10 @@ struct CaseResult {
   // Layout cases only: interleaved wall / staged-resident wall (the
   // staged layout win the CI gate locks in; 0 elsewhere).
   double staged_speedup = 0;
+  // Simd cases only: the forced kernel table ("avx2", ...; joins the
+  // case key in check_bench) and forced-scalar wall / forced-ISA wall.
+  std::string isa;
+  double simd_speedup = 0;
   double speedup() const { return par_wall_ms > 0 ? seq_wall_ms / par_wall_ms : 0; }
 };
 
@@ -231,6 +236,46 @@ CaseResult layout_case(int m, int c, int solves, int tile) {
   return r;
 }
 
+// Explicit-SIMD ablation (DESIGN.md §9): the identical sequential
+// double-double QR run twice, once with the kernel table forced to the
+// scalar fallback and once forced to `isa`.  Both runs route through the
+// same fused kernels (blas/fused_dd.hpp), so the factors must be
+// limb-identical — the dispatch bit-identity contract, re-checked here on
+// the bench shapes — and the wall ratio is the pure vector-width win the
+// CI gate floors via --min-simd-speedup.
+template <class T>
+CaseResult simd_case(int dim, int tile, md::simd::Isa isa) {
+  std::mt19937_64 gen(0x5eed4 + dim);
+  auto a = blas::random_matrix<T>(dim, dim, gen);
+
+  md::simd::force_isa(md::simd::Isa::scalar);
+  auto sdev = make_dev<T>();
+  const double t0 = now_ms();
+  auto fs = core::blocked_qr(sdev, a, tile);
+  const double t1 = now_ms();
+
+  md::simd::force_isa(isa);
+  auto vdev = make_dev<T>();
+  const double t2 = now_ms();
+  auto fv = core::blocked_qr(vdev, a, tile);
+  const double t3 = now_ms();
+  md::simd::clear_forced();
+
+  CaseResult r{"simd", md::name_of(sdev.precision()), dim, dim, tile,
+               sdev.kernel_ms(), t1 - t0, t3 - t2};
+  r.isa = md::simd::name_of(isa);
+  r.simd_speedup = r.speedup();
+  r.tally_ok = tallies_exact(sdev) && tallies_exact(vdev);
+  for (int i = 0; i < dim && r.identical; ++i)
+    for (int j = 0; j < dim; ++j)
+      if (!blas::bit_identical(fs.r(i, j), fv.r(i, j)) ||
+          !blas::bit_identical(fs.q(i, j), fv.q(i, j))) {
+        r.identical = false;
+        break;
+      }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +301,13 @@ int main(int argc, char** argv) {
   // the staged_speedup ratio the gate locks in (DESIGN.md §8).
   cases.push_back(layout_case<md::dd_real>(320, 8, 448, 8));
   cases.push_back(layout_case<md::qd_real>(288, 8, 160, 8));
+  // Explicit-SIMD ablation, one case per vector tier this host can run
+  // (scalar-vs-scalar would be a tautology): forced-scalar vs forced-ISA
+  // sequential d2 QR, sized so the scalar wall clears the gate's
+  // --min-wall-ms noise floor.
+  for (md::simd::Isa isa : md::simd::supported_isas())
+    if (isa != md::simd::Isa::scalar)
+      cases.push_back(simd_case<md::dd_real>(160, 16, isa));
 
   bench::header("sequential vs threaded execution engine (V100 model)");
   std::printf("threads: %d (hardware_concurrency %u)\n\n", width,
@@ -294,6 +346,9 @@ int main(int argc, char** argv) {
                  c.tally_ok ? "true" : "false");
     if (c.staged_speedup > 0)
       std::fprintf(f, ",\"staged_speedup\":%.3f", c.staged_speedup);
+    if (!c.isa.empty())
+      std::fprintf(f, ",\"isa\":\"%s\",\"simd_speedup\":%.3f", c.isa.c_str(),
+                   c.simd_speedup);
     std::fprintf(f, "}");
   }
   std::fprintf(f, "]}\n");

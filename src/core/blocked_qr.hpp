@@ -55,9 +55,11 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "blas/fused_dd.hpp"
 #include "blas/gemm.hpp"
 #include "blas/matrix.hpp"
 #include "blas/panel.hpp"
@@ -117,6 +119,14 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
   // Tile tasks per launch: each task owns one contiguous output block.
   const int par = dev.parallelism();
 
+  // Real double double takes the fused SIMD fast path (blas/fused_dd.hpp,
+  // DESIGN.md §9) through the panel dots, the rank-1 apply and the WY
+  // trailing updates: the same logical md-op sequence and the same task
+  // partition, with limbs held in registers across the EFT chains and
+  // the bulk tally reported per task — measured == analytic and the
+  // bit-identity-at-every-width contract are unchanged.
+  constexpr bool kFuse = std::is_same_v<T, md::dd_real>;
+
   StagedQr<T> out;
   device::Staged2D<T>& R = out.r;
   device::Staged2D<T>& Q = out.q;
@@ -136,6 +146,35 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
 
   std::vector<T> v(M), w(n), u(n);
   std::vector<RT> betas(n);
+
+  // Fused-path plumbing: raw hi/lo limb-plane origins of the staged
+  // buffers, and planar copies of the per-column reflector and row
+  // update the panel launches consume.  Plain double stores — no md
+  // operators, no tally effect.
+  double *Rhi = nullptr, *Rlo = nullptr, *Qhi = nullptr, *Qlo = nullptr,
+         *Yhi = nullptr, *Ylo = nullptr, *Whi = nullptr, *Wlo = nullptr,
+         *Thi = nullptr, *Tlo = nullptr, *Shi = nullptr, *Slo = nullptr;
+  std::vector<double> vhi, vlo, whi, wlo;
+  if constexpr (kFuse) {
+    if (fn) {
+      Rhi = R.plane_span(0).data();
+      Rlo = R.plane_span(1).data();
+      Qhi = Q.plane_span(0).data();
+      Qlo = Q.plane_span(1).data();
+      Yhi = Y.plane_span(0).data();
+      Ylo = Y.plane_span(1).data();
+      Whi = W.plane_span(0).data();
+      Wlo = W.plane_span(1).data();
+      Thi = YWT.plane_span(0).data();
+      Tlo = YWT.plane_span(1).data();
+      Shi = SCR.plane_span(0).data();
+      Slo = SCR.plane_span(1).data();
+      vhi.resize(static_cast<std::size_t>(M));
+      vlo.resize(static_cast<std::size_t>(M));
+      whi.resize(static_cast<std::size_t>(n));
+      wlo.resize(static_cast<std::size_t>(n));
+    }
+  }
 
   for (int k = 0; k < NT; ++k) {
     const int r0 = k * n;
@@ -184,6 +223,12 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
                      }
                      R.set(cg, cg, blas::scale2(-t, e));
                      for (int i = 1; i < L; ++i) R.set(cg + i, cg, T{});
+                     if constexpr (kFuse)  // planar reflector copy for the
+                                           // fused panel launches below
+                       for (int i = 0; i < L; ++i) {
+                         vhi[static_cast<std::size_t>(i)] = v[i].limb(0);
+                         vlo[static_cast<std::size_t>(i)] = v[i].limb(1);
+                       }
                    });
       }
 
@@ -205,8 +250,18 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
               stage::betaRTv, P, n, ops, (std::int64_t(P) * L + L + P) * esz,
               serial, blas::block_count(P, par), [&](int task) {
                 const auto blk = blas::block_range(P, par, task);
-                blas::panel_col_dots<T>(pan, vs, betas[l], std::span<T>(w),
-                                        blk.begin, blk.end);
+                if constexpr (kFuse) {
+                  const std::size_t at =
+                      static_cast<std::size_t>(cg) * C + cg + 1;
+                  blas::fused::dd_panel_col_dots(
+                      Rhi + at, Rlo + at, static_cast<std::size_t>(C), L,
+                      blk.begin, blk.end, vhi.data(), vlo.data(),
+                      betas[l].limb(0), betas[l].limb(1), whi.data(),
+                      wlo.data());
+                } else {
+                  blas::panel_col_dots<T>(pan, vs, betas[l], std::span<T>(w),
+                                          blk.begin, blk.end);
+                }
               });
         }
         {  // (c) R_panel -= v w — disjoint column blocks of R
@@ -217,8 +272,17 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
               (2 * std::int64_t(P) * L + L + P) * esz, serial,
               blas::block_count(P, par), [&](int task) {
                 const auto blk = blas::block_range(P, par, task);
-                blas::panel_rank1_update<T>(pan, vs, std::span<const T>(w),
-                                            blk.begin, blk.end);
+                if constexpr (kFuse) {
+                  const std::size_t at =
+                      static_cast<std::size_t>(cg) * C + cg + 1;
+                  blas::fused::dd_panel_rank1_update(
+                      Rhi + at, Rlo + at, static_cast<std::size_t>(C), L,
+                      blk.begin, blk.end, vhi.data(), vlo.data(), whi.data(),
+                      wlo.data());
+                } else {
+                  blas::panel_rank1_update<T>(pan, vs, std::span<const T>(w),
+                                              blk.begin, blk.end);
+                }
               });
         }
       }
@@ -291,11 +355,25 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
           (2 * std::int64_t(Lk) * n + std::int64_t(Lk) * Lk) * esz,
           O::fma() * n, blas::block_count(Lk, par), [&](int task) {
             const auto blk = blas::block_range(Lk, par, task);
-            blas::gemm_block<T>(
-                0, Lk, blk.begin, blk.end, 0, n,
-                [&](int i, int t) { return Y.get(r0 + i, t); },
-                [&](int t, int j) { return blas::conj_of(W.get(r0 + j, t)); },
-                [&](int i, int j, const T& s) { YWT.set(r0 + i, r0 + j, s); });
+            if constexpr (kFuse) {
+              const std::size_t pan = static_cast<std::size_t>(r0) * n;
+              const std::size_t act = static_cast<std::size_t>(r0) * M + r0;
+              blas::fused::dd_gemm_nt(
+                  Yhi + pan, Ylo + pan, static_cast<std::size_t>(n),
+                  Whi + pan, Wlo + pan, static_cast<std::size_t>(n),
+                  Thi + act, Tlo + act, static_cast<std::size_t>(M), 0, Lk,
+                  blk.begin, blk.end, 0, n);
+            } else {
+              blas::gemm_block<T>(
+                  0, Lk, blk.begin, blk.end, 0, n,
+                  [&](int i, int t) { return Y.get(r0 + i, t); },
+                  [&](int t, int j) {
+                    return blas::conj_of(W.get(r0 + j, t));
+                  },
+                  [&](int i, int j, const T& s) {
+                    YWT.set(r0 + i, r0 + j, s);
+                  });
+            }
           });
     }
     {  // QWY = Q (YWT)^H — the full M-by-M product of the paper's kernel
@@ -304,11 +382,19 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
           stage::QWYT, ceil_div(M * M, n), n, ops, 3 * std::int64_t(M) * M * esz,
           O::fma() * M, blas::block_count(M, par), [&](int task) {
             const auto blk = blas::block_range(M, par, task);
-            blas::gemm_block<T>(
-                blk.begin, blk.end, 0, M, 0, M,
-                [&](int i, int t) { return Q.get(i, t); },
-                [&](int t, int j) { return blas::conj_of(YWT.get(j, t)); },
-                [&](int i, int j, const T& s) { SCR.set(i, j, s); });
+            if constexpr (kFuse) {
+              blas::fused::dd_gemm_nt(
+                  Qhi, Qlo, static_cast<std::size_t>(M), Thi, Tlo,
+                  static_cast<std::size_t>(M), Shi, Slo,
+                  static_cast<std::size_t>(M), blk.begin, blk.end, 0, M, 0,
+                  M);
+            } else {
+              blas::gemm_block<T>(
+                  blk.begin, blk.end, 0, M, 0, M,
+                  [&](int i, int t) { return Q.get(i, t); },
+                  [&](int t, int j) { return blas::conj_of(YWT.get(j, t)); },
+                  [&](int i, int j, const T& s) { SCR.set(i, j, s); });
+            }
           });
     }
     {  // Q += QWY
@@ -317,9 +403,16 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
                        3 * std::int64_t(M) * M * esz, O::add(),
                        blas::block_count(M, par), [&](int task) {
                          const auto blk = blas::block_range(M, par, task);
-                         for (int i = blk.begin; i < blk.end; ++i)
-                           for (int j = 0; j < M; ++j)
-                             Q.set(i, j, Q.get(i, j) + SCR.get(i, j));
+                         if constexpr (kFuse) {
+                           blas::fused::dd_ewise_add(
+                               Qhi, Qlo, static_cast<std::size_t>(M), Shi,
+                               Slo, static_cast<std::size_t>(M), blk.begin,
+                               blk.end, 0, M);
+                         } else {
+                           for (int i = blk.begin; i < blk.end; ++i)
+                             for (int j = 0; j < M; ++j)
+                               Q.set(i, j, Q.get(i, j) + SCR.get(i, j));
+                         }
                        });
     }
 
@@ -336,11 +429,19 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
             (std::int64_t(M) * M + 2 * std::int64_t(M) * tc) * esz,
             O::fma() * M, blas::block_count(tc, par), [&](int task) {
               const auto blk = blas::block_range(tc, par, task);
-              blas::gemm_block<T>(
-                  0, M, blk.begin, blk.end, 0, M,
-                  [&](int i, int t) { return YWT.get(i, t); },
-                  [&](int t, int j) { return R.get(t, ce + j); },
-                  [&](int i, int j, const T& s) { SCR.set(i, j, s); });
+              if constexpr (kFuse) {
+                blas::fused::dd_gemm_nn(
+                    Thi, Tlo, static_cast<std::size_t>(M), Rhi + ce, Rlo + ce,
+                    static_cast<std::size_t>(C), Shi, Slo,
+                    static_cast<std::size_t>(M), 0, M, blk.begin, blk.end, 0,
+                    M);
+              } else {
+                blas::gemm_block<T>(
+                    0, M, blk.begin, blk.end, 0, M,
+                    [&](int i, int t) { return YWT.get(i, t); },
+                    [&](int t, int j) { return R.get(t, ce + j); },
+                    [&](int i, int j, const T& s) { SCR.set(i, j, s); });
+              }
             });
       }
       {  // R += YWTC
@@ -349,10 +450,18 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
                          3 * std::int64_t(M) * tc * esz, O::add(),
                          blas::block_count(tc, par), [&](int task) {
                            const auto blk = blas::block_range(tc, par, task);
-                           for (int i = 0; i < M; ++i)
-                             for (int j = blk.begin; j < blk.end; ++j)
-                               R.set(i, ce + j,
-                                     R.get(i, ce + j) + SCR.get(i, j));
+                           if constexpr (kFuse) {
+                             blas::fused::dd_ewise_add(
+                                 Rhi + ce, Rlo + ce,
+                                 static_cast<std::size_t>(C), Shi, Slo,
+                                 static_cast<std::size_t>(M), 0, M, blk.begin,
+                                 blk.end);
+                           } else {
+                             for (int i = 0; i < M; ++i)
+                               for (int j = blk.begin; j < blk.end; ++j)
+                                 R.set(i, ce + j,
+                                       R.get(i, ce + j) + SCR.get(i, j));
+                           }
                          });
       }
     }

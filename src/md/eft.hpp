@@ -28,16 +28,62 @@ inline void quick_two_sum(double a, double b, double& s, double& e) noexcept {
   e = b - (s - a);
 }
 
-// p = fl(a * b), e = a*b - p exactly, via fused multiply-add.
+// Hardware-FMA gate for the scalar two_prod/two_sqr below.  On targets
+// whose compile flags guarantee a fused multiply-add instruction
+// (__FMA__ on x86 -mfma/-mavx2 builds, FP_FAST_FMA per the C standard,
+// always on aarch64), std::fma inlines to that instruction and is the
+// cheapest exact product error.  WITHOUT those flags — the baseline
+// x86-64 build this repo ships — std::fma is a libm function CALL on the
+// hot path (glibc dispatches to hardware via ifunc where present, but
+// the call overhead alone dwarfs the 17-flop alternative), so we fall
+// back to the Dekker/Veltkamp split instead.  The split is exact for all
+// inputs whose product and split halves neither overflow nor enter the
+// subnormal range (|a|, |b| < 2^996 and |a*b| >= 2^-1021 suffices) —
+// the renormalized limbs of mdreal arithmetic live far inside that
+// range.  Batched kernels never take this scalar path at all: the
+// dispatched SIMD layer (md/simd/, planes::two_prod and the fused
+// double-double kernels) always uses a true fused multiply-add, which
+// is why ITS paths are bit-identical across ISAs on the full double
+// range including subnormals.
+#if defined(__FMA__) || defined(FP_FAST_FMA) || defined(__aarch64__)
+#define MDLSQ_EFT_HAVE_FAST_FMA 1
+#else
+#define MDLSQ_EFT_HAVE_FAST_FMA 0
+#endif
+
+#if !MDLSQ_EFT_HAVE_FAST_FMA
+// Veltkamp splitting: x = hi + lo exactly, each half on 26 bits.
+inline void split(double x, double& hi, double& lo) noexcept {
+  constexpr double kSplit = 134217729.0;  // 2^27 + 1
+  const double t = kSplit * x;
+  hi = t - (t - x);
+  lo = x - hi;
+}
+#endif
+
+// p = fl(a * b), e = a*b - p exactly.
 inline void two_prod(double a, double b, double& p, double& e) noexcept {
   p = a * b;
+#if MDLSQ_EFT_HAVE_FAST_FMA
   e = std::fma(a, b, -p);
+#else
+  double ah, al, bh, bl;
+  split(a, ah, al);
+  split(b, bh, bl);
+  e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+#endif
 }
 
 // p = fl(a * a), e exact.
 inline void two_sqr(double a, double& p, double& e) noexcept {
   p = a * a;
+#if MDLSQ_EFT_HAVE_FAST_FMA
   e = std::fma(a, a, -p);
+#else
+  double ah, al;
+  split(a, ah, al);
+  e = ((ah * ah - p) + 2.0 * (ah * al)) + al * al;
+#endif
 }
 
 // Three-way two_sum: s = fl(a+b+c) with the two error terms.

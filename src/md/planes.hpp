@@ -1,29 +1,32 @@
 // Plane-wise batched primitives — the arithmetic substrate of the staged
 // (limb-planar) memory layout of the paper's device kernels (PAPER.md,
-// end of Section 2; DESIGN.md §8).
+// end of Section 2; DESIGN.md §8, §9).
 //
 // A staged multiple-double array keeps limb s of every element in one
 // contiguous plane of doubles, so batched operations come in two kinds:
 //
-//  * PLANE kernels (two_sum, scale2, axpy, copy, fill, negate) run one
-//    limb-level double operation across a whole contiguous
-//    std::span<double> plane.  The inner loops carry no branches and no
-//    cross-iteration dependencies, so the compiler auto-vectorizes them
-//    — this is the host analogue of the coalesced device access the
-//    staged layout buys.  Plane kernels execute *below* the Table 1
-//    granularity of the cost model: they never call a multiple-double
-//    operator, so their exactly-declared tally is the EMPTY OpTally
-//    (tally() below), and using them inside a launch body never
-//    perturbs the measured-vs-analytic equality the suite asserts.
-//    They are exact: two_sum is the Knuth EFT per lane, scale2/negate
-//    are sign/exponent manipulations, copy/fill move bits.
+//  * PLANE kernels (two_sum, two_prod, scale2, axpy, copy, fill, negate)
+//    run one limb-level double operation across a whole contiguous
+//    std::span<double> plane.  Since the explicit SIMD layer (DESIGN.md
+//    §9) the arithmetic lanes no longer rely on autovectorization: they
+//    route through the runtime-dispatched kernel table of
+//    md/simd/dispatch.hpp, whose AVX2/AVX-512/NEON paths are pinned
+//    bit-identical to the scalar fallback (the lanes are elementwise
+//    IEEE operations; the EFTs are exact).  Plane kernels execute
+//    *below* the Table 1 granularity of the cost model: they never call
+//    a multiple-double operator, so their exactly-declared tally is the
+//    EMPTY OpTally (tally() below), and using them inside a launch body
+//    never perturbs the measured-vs-analytic equality the suite asserts.
 //
 // Full multiple-double operations on staged data go through
 // blas::StagedView element access instead: limbs are gathered from the
 // planes (the device's per-thread register load), the mdreal/mdcomplex
 // operator executes (and reports itself to the thread-local tally as
 // everywhere else), and the result limbs are scattered back — see
-// blas/staged_view.hpp and the panel kernels of blas/panel.hpp.
+// blas/staged_view.hpp and the panel kernels of blas/panel.hpp.  The
+// double-double hot path additionally has fused SIMD bodies
+// (blas/fused_dd.hpp) that keep limbs in registers across whole EFT
+// chains.
 //
 // mp++'s contiguous small-value buffer (see /root/related, sailfish009/
 // mppp) is the reference idiom: hot-loop data stays flat, structure is
@@ -38,6 +41,7 @@
 
 #include "md/eft.hpp"
 #include "md/op_counts.hpp"
+#include "md/simd/dispatch.hpp"
 
 namespace mdlsq::md::planes {
 
@@ -56,34 +60,39 @@ inline void require_same_size(std::size_t a, std::size_t b,
 // plane kernel executes none.
 constexpr OpTally tally() noexcept { return {}; }
 
-// s[i] = fl(a[i] + b[i]), e[i] the exact error (Knuth two_sum per lane).
-// Branch-free and lane-independent: auto-vectorizes.
+// s[i] = fl(a[i] + b[i]), e[i] the exact error (Knuth two_sum per lane),
+// on the dispatched SIMD path.
 inline void two_sum(std::span<const double> a, std::span<const double> b,
                     std::span<double> s, std::span<double> e) {
   detail::require_same_size(a.size(), b.size(), "two_sum");
   detail::require_same_size(a.size(), s.size(), "two_sum");
   detail::require_same_size(a.size(), e.size(), "two_sum");
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = a[i], y = b[i];
-    const double sum = x + y;
-    const double bb = sum - x;
-    s[i] = sum;
-    e[i] = (x - (sum - bb)) + (y - bb);
-  }
+  if (!a.empty())
+    simd::active().two_sum(a.data(), b.data(), s.data(), e.data(), a.size());
+}
+
+// p[i] = fl(a[i] * b[i]), e[i] the exact error (fma-based two_prod per
+// lane), on the dispatched SIMD path.
+inline void two_prod(std::span<const double> a, std::span<const double> b,
+                     std::span<double> p, std::span<double> e) {
+  detail::require_same_size(a.size(), b.size(), "two_prod");
+  detail::require_same_size(a.size(), p.size(), "two_prod");
+  detail::require_same_size(a.size(), e.size(), "two_prod");
+  if (!a.empty())
+    simd::active().two_prod(a.data(), b.data(), p.data(), e.data(), a.size());
 }
 
 // x[i] = ldexp(x[i], e): the exact power-of-two scaling every limb of a
 // staged array shares (blas::scale2 applied plane-contiguously).
 inline void scale2(std::span<double> x, int e) {
-  for (double& v : x) v = std::ldexp(v, e);
+  if (!x.empty()) simd::active().scale2(x.data(), e, x.size());
 }
 
-// y[i] += a * x[i] on one plane of doubles.
+// y[i] += a * x[i] on one plane of doubles (mul then add per lane — two
+// roundings, identical on every ISA path; never contracted to an fma).
 inline void axpy(double a, std::span<const double> x, std::span<double> y) {
   detail::require_same_size(x.size(), y.size(), "axpy");
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+  if (!x.empty()) simd::active().axpy(a, x.data(), y.data(), x.size());
 }
 
 // x[i] = -x[i]: exact (sign flip) — the plane-wise form of mdreal's
@@ -96,10 +105,13 @@ inline void fill(std::span<double> x, double v) {
   for (double& d : x) d = v;
 }
 
+// memmove, not memcpy: staged in-place structural moves (triangle
+// copies, plane shifts) may hand in overlapping spans, which memcpy
+// makes undefined behavior.
 inline void copy(std::span<const double> src, std::span<double> dst) {
   detail::require_same_size(src.size(), dst.size(), "copy");
   if (!src.empty())
-    std::memcpy(dst.data(), src.data(), src.size() * sizeof(double));
+    std::memmove(dst.data(), src.data(), src.size() * sizeof(double));
 }
 
 }  // namespace mdlsq::md::planes

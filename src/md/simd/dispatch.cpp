@@ -1,0 +1,101 @@
+// Runtime ISA detection and table selection (DESIGN.md §9).
+//
+// x86-64 feature tests go through __builtin_cpu_supports, whose libgcc
+// implementation reads CPUID once at startup AND gates the AVX tiers on
+// OS vector-state support (OSXSAVE/XGETBV), so a kernel that disabled
+// ymm/zmm state never selects a wide table.  NEON double-precision lanes
+// are architectural on aarch64 — no runtime test needed.  On any other
+// architecture only the scalar table is linked in.
+#include "md/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mdlsq::md::simd {
+
+namespace detail {
+extern const KernelTable kTableScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+extern const KernelTable kTableAvx2;
+extern const KernelTable kTableAvx512;
+#elif defined(__aarch64__)
+extern const KernelTable kTableNeon;
+#endif
+}  // namespace detail
+
+namespace {
+
+// Compiled-in table for `isa` if this HOST can execute it, else null.
+const KernelTable* host_table(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::scalar:
+      return &detail::kTableScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::avx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")
+                 ? &detail::kTableAvx2
+                 : nullptr;
+    case Isa::avx512:
+      return __builtin_cpu_supports("avx512f") ? &detail::kTableAvx512
+                                               : nullptr;
+#elif defined(__aarch64__)
+    case Isa::neon:
+      return &detail::kTableNeon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+// Best-first candidate order per architecture.
+constexpr Isa kTiers[] = {Isa::avx512, Isa::avx2, Isa::neon, Isa::scalar};
+
+const KernelTable* detect() noexcept {
+  // MDLSQ_SIMD caps the selected tier for triage; unknown or unsupported
+  // values are ignored (the cap must never turn a working binary into a
+  // crashing one).
+  if (const char* env = std::getenv("MDLSQ_SIMD")) {
+    for (Isa isa : kTiers)
+      if (std::strcmp(env, name_of(isa)) == 0)
+        if (const KernelTable* t = host_table(isa)) return t;
+  }
+  for (Isa isa : kTiers)
+    if (const KernelTable* t = host_table(isa)) return t;
+  return &detail::kTableScalar;
+}
+
+std::atomic<const KernelTable*> g_forced{nullptr};
+
+}  // namespace
+
+const KernelTable& active() noexcept {
+  if (const KernelTable* f = g_forced.load(std::memory_order_acquire))
+    return *f;
+  static const KernelTable* const detected = detect();
+  return *detected;
+}
+
+Isa active_isa() noexcept { return active().isa; }
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : kTiers)
+    if (host_table(isa) != nullptr) out.push_back(isa);
+  return out;
+}
+
+const KernelTable* table_for(Isa isa) noexcept { return host_table(isa); }
+
+bool force_isa(Isa isa) noexcept {
+  const KernelTable* t = host_table(isa);
+  if (t == nullptr) return false;
+  g_forced.store(t, std::memory_order_release);
+  return true;
+}
+
+void clear_forced() noexcept {
+  g_forced.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace mdlsq::md::simd

@@ -1,0 +1,12 @@
+// AVX2+FMA kernel table.  This TU alone is compiled with -mavx2 -mfma
+// -ffp-contract=off (target-scoped in CMakeLists.txt); nothing in it
+// executes unless the runtime dispatcher verified avx2+fma support, so
+// the shipped binary stays baseline-compatible.
+#include "md/simd/kernels_impl.hpp"
+
+namespace mdlsq::md::simd::detail {
+
+extern const KernelTable kTableAvx2;
+const KernelTable kTableAvx2 = make_table<VAvx2>(Isa::avx2);
+
+}  // namespace mdlsq::md::simd::detail

@@ -1,0 +1,12 @@
+// AVX-512F kernel table.  This TU alone is compiled with -mavx512f -mfma
+// -ffp-contract=off (target-scoped in CMakeLists.txt); nothing in it
+// executes unless the runtime dispatcher verified avx512f support, so
+// the shipped binary stays baseline-compatible.
+#include "md/simd/kernels_impl.hpp"
+
+namespace mdlsq::md::simd::detail {
+
+extern const KernelTable kTableAvx512;
+const KernelTable kTableAvx512 = make_table<VAvx512>(Isa::avx512);
+
+}  // namespace mdlsq::md::simd::detail

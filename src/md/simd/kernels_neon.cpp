@@ -1,0 +1,11 @@
+// NEON kernel table (aarch64).  Advanced SIMD with double lanes is
+// architectural on AArch64, so this table is always usable there; it is
+// still compiled with -ffp-contract=off like every kernel TU.
+#include "md/simd/kernels_impl.hpp"
+
+namespace mdlsq::md::simd::detail {
+
+extern const KernelTable kTableNeon;
+const KernelTable kTableNeon = make_table<VNeon>(Isa::neon);
+
+}  // namespace mdlsq::md::simd::detail

@@ -1,0 +1,13 @@
+// Scalar fallback kernel table — the reference sequence every wide table
+// is pinned bit-identical to.  Compiled with -ffp-contract=off and NO
+// target ISA flags, so it runs on the baseline architecture; its fma is
+// std::fma (correctly rounded everywhere, hardware-dispatched by the
+// libm ifunc resolver where the CPU has the instruction).
+#include "md/simd/kernels_impl.hpp"
+
+namespace mdlsq::md::simd::detail {
+
+extern const KernelTable kTableScalar;
+const KernelTable kTableScalar = make_table<VScalar>(Isa::scalar);
+
+}  // namespace mdlsq::md::simd::detail

@@ -5,7 +5,7 @@ committed bench/baseline.json and fail on regression.
 Usage:
     tools/check_bench.py NEW_JSON BASELINE_JSON [--tolerance 0.25]
                          [--min-wall-ms 100] [--extra MORE_JSON ...]
-                         [--min-staged-speedup 1.0]
+                         [--min-staged-speedup 1.0] [--min-simd-speedup 0]
 
 What is gated, and why (DESIGN.md §6):
 
@@ -41,6 +41,15 @@ What is gated, and why (DESIGN.md §6):
   round-tripping.  Unlike the threading floor it applies on any host —
   residency saves work even on one core — so it is not
   hardware_concurrency-gated.
+* simd_speedup (forced-scalar wall / forced-ISA wall, the simd cases of
+  bench_suite; the "isa" field joins the case key) — gated relatively
+  against the baseline like the other wall ratios, and
+  --min-simd-speedup (off by default) is an ABSOLUTE floor over every
+  new case carrying the field whose sequential (forced-scalar) wall
+  clears --min-wall-ms.  Per-ISA cases only exist on hosts that can run
+  the ISA, so coverage of, say, an avx512 case is only enforced once it
+  is committed to the baseline — keep the baseline to cases the CI
+  runner fleet supports.
 * bit_identical / tally_conserved — must be true in the new run
   (the bench binary also enforces this; the gate double-checks the
   artifact CI archives).
@@ -64,8 +73,10 @@ import sys
 
 
 def case_key(case):
+    # "isa" distinguishes the per-ISA simd ablation cases; absent (and
+    # empty) everywhere else, so pre-simd baselines keep their keys.
     return (case["kind"], case["precision"], case["rows"], case["cols"],
-            case["tile"])
+            case["tile"], case.get("isa", ""))
 
 
 def load_doc(path):
@@ -102,6 +113,10 @@ def main():
                     help="comma-separated 'kind' or 'kind/precision' "
                          "entries the absolute floor applies to "
                          "(default: qr/8d)")
+    ap.add_argument("--min-simd-speedup", type=float, default=0.0,
+                    help="absolute floor on the forced-ISA vs forced-scalar "
+                         "ratio of simd cases whose scalar wall clears "
+                         "--min-wall-ms (0 = disabled)")
     ap.add_argument("--min-staged-speedup", type=float, default=1.0,
                     help="absolute floor on the staged-resident vs "
                          "interleaved ratio of layout cases whose "
@@ -149,7 +164,14 @@ def main():
             failures.append(f"{name}: tally not conserved")
 
         bm, nm = b["modeled_kernel_ms"], n["modeled_kernel_ms"]
-        if nm > bm * (1.0 + tol):
+        if bm <= 0.0:
+            # A zero/negative baseline admits no relative comparison (and
+            # nm/bm below would divide by zero); surface it rather than
+            # silently passing or crashing the gate.
+            notes.append(
+                f"{name}: baseline modeled kernel is {bm:.3f} ms — relative "
+                f"gate skipped; re-record the baseline")
+        elif nm > bm * (1.0 + tol):
             failures.append(
                 f"{name}: modeled kernel {nm:.3f} ms vs baseline {bm:.3f} ms "
                 f"(+{100.0 * (nm / bm - 1.0):.1f}% > {100.0 * tol:.0f}%)")
@@ -197,6 +219,21 @@ def main():
                     "/".join(str(k) for k in key) +
                     f": staged speedup {n['staged_speedup']:.2f}x below "
                     f"the absolute floor {args.min_staged_speedup:.2f}x")
+
+    # Likewise the absolute simd floor: every new case carrying a
+    # simd_speedup (the forced-scalar vs forced-ISA ablations) must clear
+    # it, baselined or not — explicit vectorization that stops paying for
+    # itself is a regression even on a runner the baseline never saw.
+    if args.min_simd_speedup > 0.0:
+        for key in sorted(new):
+            n = new[key]
+            if ("simd_speedup" in n
+                    and n.get("seq_wall_ms", 0.0) >= args.min_wall_ms
+                    and n["simd_speedup"] < args.min_simd_speedup):
+                failures.append(
+                    "/".join(str(k) for k in key) +
+                    f": simd speedup {n['simd_speedup']:.2f}x below "
+                    f"the absolute floor {args.min_simd_speedup:.2f}x")
 
     for key in sorted(set(new) - set(base)):
         notes.append("/".join(str(k) for k in key) +

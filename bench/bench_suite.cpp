@@ -296,6 +296,12 @@ int main(int argc, char** argv) {
   cases.push_back(lsq_case<md::dd_real>(96, 64, 16, pool, width));
   cases.push_back(lsq_case<md::qd_real>(80, 48, 16, pool, width));
   cases.push_back(lsq_case<md::od_real>(64, 32, 16, pool, width));
+  // Odd limb counts through the limb-generic engine (derived Table-1
+  // rows, core/limb_dispatch.hpp): sized under the gate's --min-wall-ms
+  // noise floor, so the deterministic modeled time and case coverage are
+  // what the baseline locks in.
+  cases.push_back(qr_case<md::mdreal<3>>(32, 16, pool, width));
+  cases.push_back(lsq_case<md::mdreal<6>>(32, 16, 16, pool, width));
   // Staged-resident vs interleaved substrate: the factor-reusing QR
   // solve workload; seq wall = interleaved, par wall = staged, speedup =
   // the staged_speedup ratio the gate locks in (DESIGN.md §8).

@@ -24,9 +24,9 @@
 // saturated (huge) answer still drives the right decision.
 #pragma once
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "blas/matrix.hpp"
 #include "blas/scalar.hpp"
@@ -60,7 +60,9 @@ template <class T>
 TriCondEstimate tri_condition_inf(const Matrix<T>& r, int n) {
   static_assert(!is_complex_v<T>,
                 "tri_condition_inf estimates real triangular factors");
-  assert(n >= 1 && r.rows() >= n && r.cols() >= n);
+  if (n < 1 || r.rows() < n || r.cols() < n)
+    throw std::invalid_argument(
+        "mdlsq: tri_condition_inf requires 1 <= n <= min(rows, cols)");
   TriCondEstimate est;
 
   // Record (but do not bail on) an exactly-zero pivot: the solves below

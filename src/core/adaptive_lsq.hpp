@@ -4,8 +4,10 @@
 // of the limb count buys ~30 digits at a known operation-count overhead.
 // This driver spends that budget automatically: it solves
 // min_x ||b - A x||_2 to a user-requested (estimated forward-error)
-// tolerance by climbing the d2 -> d4 -> d8 ladder, escalating only when
-// an acceptance test fails.
+// tolerance by climbing a precision ladder — the default doubling
+// sequence d2 -> d4 -> d8, or any configured rung sequence over the
+// instantiated limb counts (core/limb_dispatch.hpp), e.g.
+// {2, 3, 4, 6, 8} — escalating only when an acceptance test fails.
 //
 // Per rung at precision p (DESIGN.md section 4):
 //   1. Factors.  If no QR factors exist yet, the previous rung's factors
@@ -36,18 +38,20 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "blas/condition.hpp"
 #include "blas/gemm.hpp"
 #include "blas/norms.hpp"
 #include "core/least_squares.hpp"
+#include "core/limb_dispatch.hpp"
 #include "core/refinement.hpp"
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
@@ -64,6 +68,12 @@ struct AdaptiveOptions {
   int tile = 8;         // tile size of the device pipeline (divides cols)
   int start_limbs = 2;  // first rung of the ladder
   int max_limbs = 0;    // last rung; 0 means the input type's limb count
+  // Explicit rung sequence (strictly increasing instantiated limb
+  // counts, clipped to [start_limbs, max_limbs]); empty means the default
+  // doubling ladder.  A finer sequence like {2, 3, 4, 6, 8} lets an
+  // escalation buy one limb at a time instead of doubling the cost —
+  // see core::resolve_rungs for validation semantics.
+  std::vector<int> rungs;
   int max_refine_iters = 12;  // refinement budget per rung
   // Refine instead of refactorizing while cond * eps(factors) stays below
   // this contraction rate (each sweep then gains >= 2 digits).
@@ -124,22 +134,16 @@ struct AdaptiveLsqResult {
 
 namespace detail {
 
+// Unit roundoff of an N-limb multiple-double, 2^(2 - 53 N), clamped at
+// the smallest normal double.  The old repeated-halving loop drifted
+// through gradual underflow past ~19 limbs (subnormal at d20, exactly
+// zero at d21), which degenerated every cond * eps acceptance test.  The
+// clamp keeps eps meaningful (and conservative: larger than the true
+// value) from d20 upward; d16 (2^-846) is still exactly representable
+// and unaffected.
 inline double eps_of_limbs(int limbs) noexcept {
-  double e = 4.0;
-  for (int i = 0; i < 53 * limbs; ++i) e *= 0.5;
-  return e;
-}
-
-// Dispatch a callable templated on mdreal<L> over a runtime limb count.
-template <class F>
-void with_limbs(int limbs, F&& f) {
-  switch (limbs) {
-    case 1: f(md::mdreal<1>{}); break;
-    case 2: f(md::mdreal<2>{}); break;
-    case 4: f(md::mdreal<4>{}); break;
-    case 8: f(md::mdreal<8>{}); break;
-    default: assert(!"unsupported limb count"); break;
-  }
+  return std::max(std::ldexp(4.0, -53 * limbs),
+                  std::numeric_limits<double>::min());
 }
 
 // Plain-double norms for the backward-error scale (estimates need no
@@ -207,10 +211,10 @@ void launch_cond_est(device::Device& dev, int n, int tile, std::int64_t esz,
 template <int NH>
 struct AdaptiveState {
   blas::Vector<md::mdreal<NH>> x;
-  std::optional<LowPrecisionFactors<1>> f1;
-  std::optional<LowPrecisionFactors<2>> f2;
-  std::optional<LowPrecisionFactors<4>> f4;
-  std::optional<LowPrecisionFactors<8>> f8;
+  // Live factors at whichever instantiated precision last factorized —
+  // one variant over the whole instantiation list instead of a hand-kept
+  // optional per hard-wired count (monostate: no factors yet).
+  limb_variant_t<LowPrecisionFactors> factors;
   int factor_limbs = 0;  // 0: no factors yet
   bool factors_stagnated = false;
   double cond_est = std::numeric_limits<double>::infinity();
@@ -219,17 +223,13 @@ struct AdaptiveState {
   double anorm_one = 0, anorm_inf = 0, bnorm_inf = 0;
 
   template <int L>
-  std::optional<LowPrecisionFactors<L>>& slot() {
-    if constexpr (L == 1) return f1;
-    else if constexpr (L == 2) return f2;
-    else if constexpr (L == 4) return f4;
-    else return f8;
+  LowPrecisionFactors<L>& slot() {
+    return std::get<LowPrecisionFactors<L>>(factors);
   }
   template <int L>
   void set_factors(BlockedQrOutput<md::mdreal<L>>&& o) {
-    f1.reset(); f2.reset(); f4.reset(); f8.reset();
-    slot<L>() = LowPrecisionFactors<L>{
-        QrFactors<md::mdreal<L>>{std::move(o.q), std::move(o.r)}};
+    factors.template emplace<LowPrecisionFactors<L>>(LowPrecisionFactors<L>{
+        QrFactors<md::mdreal<L>>{std::move(o.q), std::move(o.r)}});
     factor_limbs = L;
     factors_stagnated = false;
   }
@@ -283,8 +283,8 @@ void polish_rung(device::Device& dev, const blas::Matrix<md::mdreal<P>>& ap,
     // Correction on the (possibly lower-precision) factors.
     blas::Vector<TF> rf(m);
     for (int i = 0; i < m; ++i) rf[i] = r[i].template to_precision<FL>();
-    auto dx = st.template slot<FL>()->solve_on(dev, std::span<const TF>(rf),
-                                               opt.tile);
+    auto dx = st.template slot<FL>().solve_on(dev, std::span<const TF>(rf),
+                                              opt.tile);
     for (int j = 0; j < c; ++j)
       st.x[j] += dx[j].template to_precision<NH>();
     rs.refine_iterations = iter + 1;
@@ -337,20 +337,12 @@ void run_rung(const device::DeviceSpec& spec,
     dev.set_parallelism(opt.tile_pool, opt.parallelism);
     rs.device_precision = md::Precision(st.factor_limbs);
     rs.cond_estimate = st.cond_est;
-    switch (st.factor_limbs) {
-      case 1:
-        polish_rung<1, P, NH>(dev, ap, bp, st, opt, rs);
-        break;
-      case 2:
-        if constexpr (P >= 2) polish_rung<2, P, NH>(dev, ap, bp, st, opt, rs);
-        break;
-      case 4:
-        if constexpr (P >= 4) polish_rung<4, P, NH>(dev, ap, bp, st, opt, rs);
-        break;
-      default:
-        if constexpr (P >= 8) polish_rung<8, P, NH>(dev, ap, bp, st, opt, rs);
-        break;
-    }
+    with_limbs(st.factor_limbs, [&](auto tag) {
+      constexpr int FL = decltype(tag)::limbs;
+      // The ladder never refines at a precision below its factors, so the
+      // guard only prunes impossible instantiations.
+      if constexpr (FL <= P) polish_rung<FL, P, NH>(dev, ap, bp, st, opt, rs);
+    });
     const device::DeviceUsage u = dev.usage();
     rs.analytic = u.analytic;
     rs.measured = u.measured;
@@ -366,20 +358,29 @@ void run_rung(const device::DeviceSpec& spec,
 }  // namespace detail
 
 // The adaptive driver.  A and b live at the target precision NH; the
-// ladder starts at opt.start_limbs and never exceeds
-// min(opt.max_limbs, NH).  Requires cols % opt.tile == 0 (the device
-// pipeline's tiling contract) and a real scalar type.
+// ladder climbs resolve_rungs(opt.rungs, opt.start_limbs,
+// min(opt.max_limbs, NH)) — by default the doubling sequence from
+// start_limbs.  Requires cols % opt.tile == 0 (the device pipeline's
+// tiling contract) and a real scalar type; invalid shapes and rung
+// sequences throw std::invalid_argument (release-mode safe).
 template <int NH>
 AdaptiveLsqResult<NH> adaptive_least_squares(
     const device::DeviceSpec& spec, const blas::Matrix<md::mdreal<NH>>& a,
     const blas::Vector<md::mdreal<NH>>& b, const AdaptiveOptions& opt = {}) {
-  static_assert(NH == 1 || NH == 2 || NH == 4 || NH == 8,
-                "the ladder runs on the cost-table precisions");
-  assert(a.rows() >= a.cols() && a.cols() % opt.tile == 0);
-  assert(static_cast<int>(b.size()) == a.rows());
+  static_assert(NH >= 1, "mdreal needs at least one limb");
+  if (opt.tile < 1 || a.cols() % opt.tile != 0)
+    throw std::invalid_argument(
+        "mdlsq: adaptive_least_squares requires tile >= 1 dividing cols");
+  if (a.rows() < a.cols())
+    throw std::invalid_argument(
+        "mdlsq: adaptive_least_squares requires rows >= cols");
+  if (static_cast<int>(b.size()) != a.rows())
+    throw std::invalid_argument(
+        "mdlsq: adaptive_least_squares requires b.size() == rows");
 
   const int maxl = opt.max_limbs > 0 ? std::min(opt.max_limbs, NH) : NH;
-  assert(opt.start_limbs <= maxl);
+  const std::vector<int> ladder =
+      resolve_rungs(opt.rungs, opt.start_limbs, maxl);
 
   // A standalone call with parallelism but no shared pool owns one for
   // the ladder's duration (batched_lsq hands every problem its shared
@@ -398,17 +399,15 @@ AdaptiveLsqResult<NH> adaptive_least_squares(
   st.anorm_inf = detail::dnorm_inf_mat(a);
   st.bnorm_inf = detail::dnorm_inf_vec(b);
 
-  auto rung = [&](auto tag) {
-    constexpr int P = decltype(tag)::limbs;
-    if constexpr (P <= NH) {
-      if (P >= aopt.start_limbs && P <= maxl && !out.converged)
-        detail::run_rung<P, NH>(spec, a, b, st, aopt, out);
-    }
-  };
-  rung(md::mdreal<1>{});
-  rung(md::mdreal<2>{});
-  rung(md::mdreal<4>{});
-  rung(md::mdreal<8>{});
+  for (const int l : ladder) {
+    if (out.converged) break;
+    with_limbs(l, [&](auto tag) {
+      constexpr int P = decltype(tag)::limbs;
+      // resolve_rungs already clipped the ladder to [start_limbs, NH];
+      // the guard only prunes impossible instantiations.
+      if constexpr (P <= NH) detail::run_rung<P, NH>(spec, a, b, st, aopt, out);
+    });
+  }
 
   out.x = std::move(st.x);
   return out;
@@ -453,10 +452,14 @@ AdaptiveDryResult adaptive_least_squares_dry(const device::DeviceSpec& spec,
                 "the adaptive ladder runs on real problems");
   constexpr int NH = blas::scalar_traits<T>::limbs;
   const int maxl = opt.max_limbs > 0 ? std::min(opt.max_limbs, NH) : NH;
-  assert(opt.start_limbs <= maxl && cols % opt.tile == 0);
+  if (opt.tile < 1 || cols % opt.tile != 0)
+    throw std::invalid_argument(
+        "mdlsq: adaptive_least_squares_dry requires tile >= 1 dividing cols");
+  const std::vector<int> ladder =
+      resolve_rungs(opt.rungs, opt.start_limbs, maxl);
 
   AdaptiveDryResult out;
-  detail::with_limbs(opt.start_limbs, [&](auto tag) {
+  with_limbs(ladder.front(), [&](auto tag) {
     using TS = decltype(tag);
     {  // the starting rung factorizes
       device::Device dev(spec, md::Precision(TS::limbs),
@@ -473,7 +476,8 @@ AdaptiveDryResult adaptive_least_squares_dry(const device::DeviceSpec& spec,
       rs.wall_ms = u.wall_ms;
       out.rungs.push_back(std::move(rs));
     }
-    for (int l = 2 * TS::limbs; l <= maxl; l *= 2) {
+    for (std::size_t k = 1; k < ladder.size(); ++k) {
+      const int l = ladder[k];
       // later rungs refine on the starting rung's factors
       device::Device dev(spec, md::Precision(TS::limbs),
                          device::ExecMode::dry_run);

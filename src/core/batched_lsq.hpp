@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -319,7 +320,9 @@ std::vector<std::vector<int>> shard_assignment(
     const BatchedLsqOptions& opt) {
   detail::require_pipeline_supported<T>(opt);
   const int d = pool.size();
-  assert(d >= 1);
+  if (d < 1)
+    throw std::invalid_argument(
+        "mdlsq: shard_assignment requires a non-empty device pool");
   std::vector<std::vector<int>> shards(static_cast<std::size_t>(d));
 
   if (opt.policy == ShardPolicy::round_robin) {
@@ -380,7 +383,9 @@ BatchedLsqResult<T> batched_least_squares(
     const BatchedLsqOptions& opt = {}) {
   detail::require_pipeline_supported<T>(opt);
   const int d = pool.size();
-  assert(d >= 1);
+  if (d < 1)
+    throw std::invalid_argument(
+        "mdlsq: batched_least_squares requires a non-empty device pool");
 
   BatchedLsqResult<T> out;
   out.shards = shard_assignment(pool, problems, opt);
@@ -435,7 +440,15 @@ BatchedLsqResult<T> batched_least_squares(
   // Escalation statistics: one report row per ladder rung that any
   // problem entered, in ladder order (adaptive pipeline only).
   if (opt.pipeline == BatchPipeline::adaptive) {
-    for (int limbs : {1, 2, 4, 8}) {
+    // The rung precisions actually observed, ascending — configured rung
+    // sequences can contain any instantiated limb count, so the rows are
+    // collected from the results instead of a hard-wired {1, 2, 4, 8}.
+    std::vector<int> seen;
+    for (const auto& pr : out.problems)
+      for (const auto& rg : pr.rungs) seen.push_back(md::limbs_of(rg.precision));
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (int limbs : seen) {
       util::BatchRungRow rr;
       rr.precision = md::Precision(limbs);
       for (const auto& pr : out.problems)

@@ -1,0 +1,129 @@
+// Limb-count dispatch: the single compile-time instantiation list behind
+// every runtime precision decision in the engine.
+//
+// The arithmetic layer (md/mdreal.hpp, md/expansion.hpp) is generic over
+// any limb count N >= 1, but each count the runtime can select must be
+// instantiated somewhere.  LimbList pins that set in ONE place and makes
+// dispatch total: asking for a count outside the list throws
+// std::invalid_argument — never a silent no-op (the old `with_limbs`
+// switch hit `assert(!"unsupported")` and, under NDEBUG, simply skipped
+// the callable).
+//
+// The same header defines the ladder's rung-sequence machinery: the
+// default doubling ladder (d2 -> d4 -> d8) and user-supplied sequences
+// like {2, 3, 4, 6, 8} that escalate in finer steps than doubling, so an
+// escalation no longer has to triple the modeled cost when one extra
+// limb would do (cost_table(3) ≈ 0.44 × cost_table(4) per op).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "md/mdreal.hpp"
+
+namespace mdlsq::core {
+
+// A compile-time list of instantiated limb counts.  dispatch() maps a
+// runtime count onto the matching mdreal<N> tag via a fold over the list;
+// a miss throws (total function, release-mode safe).
+template <int... Ns>
+struct LimbList {
+  static constexpr bool contains(int limbs) noexcept {
+    return ((limbs == Ns) || ...);
+  }
+  static std::vector<int> values() { return {Ns...}; }
+
+  template <class F>
+  static void dispatch(int limbs, F&& f) {
+    const bool hit =
+        ((limbs == Ns ? (f(md::mdreal<Ns>{}), true) : false) || ...);
+    if (!hit) {
+      std::string msg =
+          "mdlsq: unsupported limb count " + std::to_string(limbs) +
+          "; instantiated counts:";
+      ((msg += ' ', msg += std::to_string(Ns)), ...);
+      throw std::invalid_argument(msg);
+    }
+  }
+};
+
+// The engine's instantiation list.  Adding a count here is the whole
+// story: the ladder, tracker, batched driver, cost model and name table
+// all accept it immediately (cost_table/name_of are total over N >= 1).
+using SupportedLimbs = LimbList<1, 2, 3, 4, 5, 6, 8, 16>;
+
+// Dispatch a callable templated on mdreal<L> over a runtime limb count.
+// Throws std::invalid_argument when `limbs` is not in SupportedLimbs.
+template <class F>
+void with_limbs(int limbs, F&& f) {
+  SupportedLimbs::dispatch(limbs, std::forward<F>(f));
+}
+
+// std::variant over F<N> for every N in a LimbList (plus monostate for
+// "empty") — the adaptive ladder's factor store, replacing one optional
+// member per hard-wired precision.
+template <template <int> class F, class List>
+struct variant_over;
+template <template <int> class F, int... Ns>
+struct variant_over<F, LimbList<Ns...>> {
+  using type = std::variant<std::monostate, F<Ns>...>;
+};
+template <template <int> class F>
+using limb_variant_t = typename variant_over<F, SupportedLimbs>::type;
+
+// The default ladder: limb count doubles from start_limbs; if doubling
+// overshoots the cap the cap itself becomes the final rung (so
+// start 3 / cap 8 climbs 3 -> 6 -> 8).  Preserves the historical
+// d2 -> d4 -> d8 ladder exactly for power-of-two start/cap.
+inline std::vector<int> default_rungs(int start_limbs, int max_limbs) {
+  std::vector<int> r;
+  for (int l = start_limbs; l <= max_limbs; l *= 2) r.push_back(l);
+  if (r.empty() || r.back() != max_limbs) r.push_back(max_limbs);
+  return r;
+}
+
+// Validate and clip a user rung sequence against [start_limbs, max_limbs].
+// An empty sequence means the default doubling ladder.  A non-empty one
+// must be strictly increasing with every count instantiated; rungs
+// outside the window are dropped, and a sequence with no rung left in the
+// window is an error.  Throws std::invalid_argument on every violation.
+inline std::vector<int> resolve_rungs(const std::vector<int>& rungs,
+                                      int start_limbs, int max_limbs) {
+  if (start_limbs < 1)
+    throw std::invalid_argument("mdlsq: start_limbs must be >= 1, got " +
+                                std::to_string(start_limbs));
+  if (start_limbs > max_limbs)
+    throw std::invalid_argument(
+        "mdlsq: start_limbs " + std::to_string(start_limbs) +
+        " exceeds the ladder cap " + std::to_string(max_limbs));
+  if (rungs.empty()) return default_rungs(start_limbs, max_limbs);
+  std::vector<int> out;
+  int prev = 0;
+  for (const int l : rungs) {
+    if (l <= prev)
+      throw std::invalid_argument(
+          "mdlsq: rung sequence must be strictly increasing positive "
+          "limb counts");
+    if (!SupportedLimbs::contains(l))
+      throw std::invalid_argument(
+          "mdlsq: rung sequence contains uninstantiated limb count " +
+          std::to_string(l));
+    prev = l;
+    if (l >= start_limbs && l <= max_limbs) out.push_back(l);
+  }
+  if (out.empty())
+    throw std::invalid_argument(
+        "mdlsq: no rung of the sequence lies in [start_limbs, max_limbs] = [" +
+        std::to_string(start_limbs) + ", " + std::to_string(max_limbs) + "]");
+  return out;
+}
+
+namespace detail {
+// Historical spelling: callers across the tree use core::detail::with_limbs.
+using mdlsq::core::with_limbs;
+}  // namespace detail
+
+}  // namespace mdlsq::core

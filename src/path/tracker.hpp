@@ -19,7 +19,9 @@
 //     normwise backward error of the corrected point.
 //
 //   precision ladder — each step starts at the path's current precision
-//     (d2 by default) and escalates d2 -> d4 -> d8 only when the
+//     (d2 by default) and escalates along the resolved rung sequence
+//     (the default doubling ladder d2 -> d4 -> d8, or a configured
+//     TrackOptions::rungs sequence such as {2, 3, 4, 6, 8}) only when the
 //     acceptance test fails at the rung's measurement floor: escalation
 //     first REFINES (residuals at the higher precision on the host,
 //     corrections on the cached lower-precision factors — exactly
@@ -84,6 +86,10 @@ struct TrackOptions {
   int tile = 4;               // device pipeline tile (must divide the dim)
   int start_limbs = 2;        // first rung of the per-step ladder
   int max_limbs = 0;          // 0: the input type's limb count
+  // Explicit rung sequence for the per-step ladder (strictly increasing
+  // instantiated limb counts); empty means the default doubling ladder.
+  // Validation and clipping semantics are core::resolve_rungs'.
+  std::vector<int> rungs;
   double step_factor = 0.25;  // h = step_factor * pole_radius
   double max_step = 0.25;
   double min_step = 1e-8;
@@ -356,41 +362,42 @@ CorrectorExit polish_rung(const device::DeviceSpec& spec,
   return exit;
 }
 
-// The escalation chain after the first rung: refine at P, 2P, ... while
-// the cached FL factors can still contract; a stagnating refinement (or a
-// contraction rate beyond the threshold) restarts the step at the
-// offending precision with a fresh factorization.
-template <int FL, int P, int NH>
-StepOutcome escalate_chain(const device::DeviceSpec& spec,
-                           const Homotopy<md::mdreal<NH>>& h,
-                           const core::BlockToeplitzSolver<md::mdreal<FL>>& slv,
-                           double t1, double cond, double h_step, int maxl,
-                           blas::Vector<md::mdreal<NH>>& xw,
-                           const TrackOptions& opt, StepStats& st) {
-  if constexpr (P > 8 || P > NH) {
-    (void)spec; (void)h; (void)slv; (void)t1; (void)cond; (void)h_step;
-    (void)maxl; (void)xw; (void)opt; (void)st;
-    return {StepVerdict::failed, 0, 0, 0.0};
-  } else {
-    if (P > maxl) return {StepVerdict::failed, 0, 0, 0.0};
-    const double rate = cond * core::detail::eps_of_limbs(FL);
+// The escalation ladder after the first rung: refine at each higher rung
+// of the resolved sequence while the cached FL factors can still
+// contract; a stagnating refinement restarts the step at the offending
+// precision with a fresh factorization.  The contraction-rate gate
+// cond * eps(FL) depends only on the factor precision, so it is invariant
+// across rungs and checked once: when the factors cannot contract, the
+// step restarts at the first rung above them.  Running out of rungs
+// exhausts the ladder (failed).
+template <int FL, int NH>
+StepOutcome escalate_ladder(
+    const device::DeviceSpec& spec, const Homotopy<md::mdreal<NH>>& h,
+    const core::BlockToeplitzSolver<md::mdreal<FL>>& slv, double t1,
+    double cond, double h_step, int maxl, const std::vector<int>& rungs,
+    blas::Vector<md::mdreal<NH>>& xw, const TrackOptions& opt, StepStats& st) {
+  const double rate = cond * core::detail::eps_of_limbs(FL);
+  for (const int p : rungs) {
+    if (p <= FL || p > maxl) continue;
     if (rate > opt.refine_rate_threshold)
-      return {StepVerdict::restart_higher, P, 0, 0.0};
+      return {StepVerdict::restart_higher, p, 0, 0.0};
+    CorrectorExit exit = CorrectorExit::stagnated;
     util::RungStats rs;
-    const CorrectorExit exit =
-        polish_rung<FL, P, NH>(spec, h, slv, t1, cond, xw, opt, st, rs);
+    core::with_limbs(p, [&](auto tag) {
+      constexpr int P = decltype(tag)::limbs;
+      // p lies in (FL, maxl] with maxl <= NH; the guard only prunes
+      // impossible instantiations.
+      if constexpr (FL <= P && P <= NH)
+        exit = polish_rung<FL, P, NH>(spec, h, slv, t1, cond, xw, opt, st, rs);
+    });
     st.rungs.push_back(std::move(rs));
-    switch (exit) {
-      case CorrectorExit::accepted:
-        return {StepVerdict::accepted, 0, P, h_step};
-      case CorrectorExit::floor:
-        return escalate_chain<FL, 2 * P, NH>(spec, h, slv, t1, cond, h_step,
-                                             maxl, xw, opt, st);
-      case CorrectorExit::stagnated:
-        return {StepVerdict::restart_higher, P, 0, 0.0};
-    }
-    return {StepVerdict::failed, 0, 0, 0.0};
+    if (exit == CorrectorExit::accepted)
+      return {StepVerdict::accepted, 0, p, h_step};
+    if (exit == CorrectorExit::stagnated)
+      return {StepVerdict::restart_higher, p, 0, 0.0};
+    // floor: measured to this rung's floor with healthy factors — climb on
   }
+  return {StepVerdict::failed, 0, 0, 0.0};
 }
 
 // One step attempt with the first rung at precision L: recenter, factor,
@@ -398,7 +405,8 @@ StepOutcome escalate_chain(const device::DeviceSpec& spec,
 template <int L, int NH>
 StepOutcome run_step_at(const device::DeviceSpec& spec,
                         const Homotopy<md::mdreal<NH>>& h, double t0,
-                        int maxl, blas::Vector<md::mdreal<NH>>& x_out,
+                        int maxl, const std::vector<int>& rungs,
+                        blas::Vector<md::mdreal<NH>>& x_out,
                         const TrackOptions& opt, StepStats& st) {
   static_assert(L <= NH);
   using TL = md::mdreal<L>;
@@ -544,8 +552,8 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
       return {StepVerdict::accepted, 0, L, hs};
     case CorrectorExit::floor: {
       // Precision-limited: climb the ladder on the cached factors.
-      StepOutcome out = escalate_chain<L, 2 * L, NH>(
-          spec, h, solver, t1, cond, hs, maxl, xw, opt, st);
+      StepOutcome out = escalate_ladder<L, NH>(spec, h, solver, t1, cond, hs,
+                                               maxl, rungs, xw, opt, st);
       if (out.verdict == StepVerdict::accepted) x_out = std::move(xw);
       return out;
     }
@@ -564,8 +572,7 @@ template <int NH>
 TrackResult<NH> track(const device::DeviceSpec& spec,
                       const Homotopy<md::mdreal<NH>>& h,
                       const TrackOptions& opt = {}) {
-  static_assert(NH == 1 || NH == 2 || NH == 4 || NH == 8,
-                "the tracker ladder runs on the cost-table precisions");
+  static_assert(NH >= 1, "mdreal needs at least one limb");
   if (opt.tile < 1 || h.dim() % opt.tile != 0)
     throw std::invalid_argument(
         "mdlsq: track requires a tile dividing the homotopy dimension");
@@ -580,6 +587,8 @@ TrackResult<NH> track(const device::DeviceSpec& spec,
   if (opt.start_limbs < 1 || opt.start_limbs > maxl)
     throw std::invalid_argument(
         "mdlsq: track start_limbs must lie within the ladder");
+  const std::vector<int> rungs =
+      core::resolve_rungs(opt.rungs, opt.start_limbs, maxl);
 
   // A standalone call with parallelism but no shared pool owns one for
   // the track's duration (batched_tracker hands in its shared pool).
@@ -593,7 +602,7 @@ TrackResult<NH> track(const device::DeviceSpec& spec,
   TrackResult<NH> out;
   out.x.assign(static_cast<std::size_t>(h.dim()), md::mdreal<NH>{});
   double t = topt.t_start;
-  int cur = topt.start_limbs;
+  int cur = rungs.front();  // first rung >= start_limbs of the sequence
   bool ok = true;
 
   while (ok && t < topt.t_end - 1e-14 &&
@@ -605,8 +614,8 @@ TrackResult<NH> track(const device::DeviceSpec& spec,
       core::detail::with_limbs(cur, [&](auto tag) {
         constexpr int L = decltype(tag)::limbs;
         if constexpr (L <= NH) {
-          outcome =
-              detail::run_step_at<L, NH>(spec, h, t, maxl, out.x, topt, st);
+          outcome = detail::run_step_at<L, NH>(spec, h, t, maxl, rungs, out.x,
+                                               topt, st);
         }
       });
       if (outcome.verdict == detail::StepVerdict::restart_higher &&

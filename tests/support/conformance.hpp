@@ -184,7 +184,8 @@ void check_lsq_conformance(const ShapeCase& c, double ulps = 1e4) {
 // exact tallies on every rung.
 template <int NH>
 void check_adaptive_conformance(const ShapeCase& c, double tol,
-                                double slack = 1e4) {
+                                double slack = 1e4,
+                                std::vector<int> rungs = {}) {
   SCOPED_TRACE("adaptive " + c.label());
   using T = md::mdreal<NH>;
   std::mt19937_64 gen(c.seed);
@@ -195,6 +196,7 @@ void check_adaptive_conformance(const ShapeCase& c, double tol,
   core::AdaptiveOptions opt;
   opt.tol = tol;
   opt.tile = c.tile;
+  opt.rungs = std::move(rungs);
   auto res =
       core::adaptive_least_squares<NH>(device::volta_v100(), a, b, opt);
   EXPECT_TRUE(res.converged);
@@ -216,6 +218,48 @@ void check_adaptive_conformance(const ShapeCase& c, double tol,
         << "rung " << md::name_of(r.precision) << " tally mismatch";
   }
   EXPECT_EQ(res.final_precision, res.rungs.back().precision);
+}
+
+// Sequential-vs-parallel identity of an adaptive solve at target
+// precision NH with an optional rung sequence: every solution limb, the
+// per-rung measured==analytic exactness, the total device tallies
+// (conservation) and the modeled kernel time must all be identical at
+// parallelism 1 and `width` (DESIGN.md §5 — disjoint writes and fixed
+// per-task reduction order make the schedule bit-deterministic).
+template <int NH>
+void check_adaptive_parallel_identity(const ShapeCase& c, double tol,
+                                      std::vector<int> rungs = {},
+                                      int width = 4) {
+  SCOPED_TRACE("adaptive parallel identity " + c.label());
+  using T = md::mdreal<NH>;
+  std::mt19937_64 gen(c.seed);
+  auto a = blas::random_matrix<T>(c.rows, c.cols, gen);
+  auto xs = blas::random_vector<T>(c.cols, gen);
+  auto b = blas::gemv(a, std::span<const T>(xs));
+
+  core::AdaptiveOptions opt;
+  opt.tol = tol;
+  opt.tile = c.tile;
+  opt.rungs = std::move(rungs);
+  auto seq = core::adaptive_least_squares<NH>(device::volta_v100(), a, b, opt);
+  opt.parallelism = width;
+  auto par = core::adaptive_least_squares<NH>(device::volta_v100(), a, b, opt);
+
+  EXPECT_EQ(seq.converged, par.converged);
+  ASSERT_EQ(seq.x.size(), par.x.size());
+  for (std::size_t i = 0; i < seq.x.size(); ++i)
+    for (int l = 0; l < NH; ++l)
+      EXPECT_EQ(seq.x[i].limb(l), par.x[i].limb(l)) << "x[" << i << "]";
+  ASSERT_EQ(seq.rungs.size(), par.rungs.size());
+  for (std::size_t k = 0; k < seq.rungs.size(); ++k) {
+    EXPECT_EQ(seq.rungs[k].precision, par.rungs[k].precision);
+    EXPECT_TRUE(seq.rungs[k].measured == seq.rungs[k].analytic);
+    EXPECT_TRUE(par.rungs[k].measured == par.rungs[k].analytic);
+    EXPECT_TRUE(seq.rungs[k].measured == par.rungs[k].measured)
+        << "rung " << md::name_of(seq.rungs[k].precision);
+  }
+  EXPECT_TRUE(seq.device_measured() == par.device_measured());
+  EXPECT_DOUBLE_EQ(seq.kernel_ms(), par.kernel_ms());
 }
 
 }  // namespace mdlsq::test_support

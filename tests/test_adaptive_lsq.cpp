@@ -279,6 +279,93 @@ TEST(AdaptiveLsq, ConformanceSweep) {
     check_adaptive_conformance<4>(c, 1e-12);
 }
 
+// --- odd limb counts (the limb-generic engine) -------------------------------
+
+TEST(AdaptiveLsq, OddLimbConformanceSweep) {
+  // d3 and d6 targets through the same oracle as the published counts:
+  // default ladders ({2, 3} and {2, 4, 6} after cap-landing), plus an
+  // explicit odd rung sequence.
+  for (const auto& c : shape_sweep(0xad3, 3, 6, 2, 8))
+    check_adaptive_conformance<3>(c, 1e-30);
+  for (const auto& c : shape_sweep(0xad6, 3, 6, 2, 8))
+    check_adaptive_conformance<6>(c, 1e-60);
+  for (const auto& c : shape_sweep(0xad7, 2, 6, 2, 8))
+    check_adaptive_conformance<6>(c, 1e-60, 1e4, {2, 3, 6});
+}
+
+TEST(AdaptiveLsq, OddLimbSeqVsParallelIdentityAndTallyConservation) {
+  for (const auto& c : shape_sweep(0xadd, 2, 6, 2, 8)) {
+    test_support::check_adaptive_parallel_identity<3>(c, 1e-30);
+    test_support::check_adaptive_parallel_identity<6>(c, 1e-60, {2, 3, 6});
+  }
+}
+
+// The escalation pin of ISSUE 7: on the 32x24 Hilbert problem
+// (cond ~ 9e31 > 1/eps(d2)) a 1e-10 tolerance is out of d2's reach and
+// cond * eps(d2) defeats the d2 factors, so the next rung refactorizes —
+// with rungs {2, 3} that refactorization lands on d3, which meets the
+// tolerance at strictly lower modeled cost than the default ladder's d4.
+TEST(AdaptiveLsq, TripleDoubleMeetsWhatDoubleDoubleCannotBelowQuadCost) {
+  auto [a, b] = hilbert_problem<8>(32, 24);
+
+  AdaptiveOptions opt2;  // d2 alone cannot
+  opt2.tol = 1e-10;
+  opt2.rungs = {2};
+  auto only2 = core::adaptive_least_squares<8>(device::volta_v100(), a, b,
+                                               opt2);
+  EXPECT_FALSE(only2.converged);
+  EXPECT_GT(only2.rungs.back().forward_estimate, opt2.tol);
+
+  AdaptiveOptions opt3;  // d2 -> d3
+  opt3.tol = 1e-10;
+  opt3.rungs = {2, 3};
+  auto via3 = core::adaptive_least_squares<8>(device::volta_v100(), a, b,
+                                              opt3);
+  EXPECT_TRUE(via3.converged);
+  ASSERT_EQ(via3.rungs.size(), 2u);
+  EXPECT_EQ(via3.rungs[1].precision, md::Precision(3));
+  EXPECT_TRUE(via3.rungs[1].refactorized);  // the d2 factors were defeated
+  EXPECT_EQ(via3.rungs[1].device_precision, md::Precision(3));
+  EXPECT_TRUE(via3.rungs[1].accepted);
+  EXPECT_LE(worst_vs_ones<8>(via3.x), 1e3 * opt3.tol);
+  EXPECT_TRUE(via3.device_measured() == via3.device_analytic());
+
+  AdaptiveOptions opt4;  // the default escalation target
+  opt4.tol = 1e-10;
+  opt4.rungs = {2, 4};
+  auto via4 = core::adaptive_least_squares<8>(device::volta_v100(), a, b,
+                                              opt4);
+  EXPECT_TRUE(via4.converged);
+  EXPECT_EQ(via4.rungs.back().precision, md::Precision::d4);
+
+  // The payoff: one extra limb instead of two, strictly cheaper on the
+  // modeled clock (cost_table(3) averages ~44% of cost_table(4)).
+  EXPECT_LT(via3.kernel_ms(), via4.kernel_ms());
+}
+
+TEST(AdaptiveLsqDry, CustomRungSequencePricesItsOwnLadder) {
+  AdaptiveOptions opt;
+  opt.rungs = {2, 3};
+  auto dry = core::adaptive_least_squares_dry<md::od_real>(
+      device::volta_v100(), 32, 24, opt);
+  ASSERT_EQ(dry.rungs.size(), 2u);
+  EXPECT_EQ(dry.rungs[0].precision, md::Precision::d2);
+  EXPECT_TRUE(dry.rungs[0].refactorized);
+  EXPECT_EQ(dry.rungs[1].precision, md::Precision(3));
+  EXPECT_EQ(dry.rungs[1].device_precision, md::Precision::d2);
+  EXPECT_GT(dry.rungs[1].analytic.md_ops(), 0);
+  // The dry model prices post-start rungs as refinement on the starting
+  // factors (corrections run at the factor precision), so a {2, 3} and a
+  // {2, 4} ladder price the same expected schedule — the cost difference
+  // between d3 and d4 escalation is a functional-path property, pinned by
+  // TripleDoubleMeetsWhatDoubleDoubleCannotBelowQuadCost above.
+  AdaptiveOptions opt4;
+  opt4.rungs = {2, 4};
+  auto dry4 = core::adaptive_least_squares_dry<md::od_real>(
+      device::volta_v100(), 32, 24, opt4);
+  EXPECT_DOUBLE_EQ(dry.kernel_ms(), dry4.kernel_ms());
+}
+
 // --- dry-run pricing ---------------------------------------------------------
 
 TEST(AdaptiveLsqDry, LadderScheduleAndCostStructure) {

@@ -3,6 +3,8 @@
 // mechanics of OpTally / ScopedTally.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/tally_rules.hpp"
 #include "md/mdreal.hpp"
 #include "md/op_counts.hpp"
@@ -63,11 +65,107 @@ TEST(Table1, DoubleRowIsUnity) {
   EXPECT_EQ(t.div.total(), 1);
 }
 
+// --- the derived analytic rows (limb-count-generic cost model) --------------
+
+TEST(DerivedRows, ReproducePublishedAnchorsExactly) {
+  // The quadratic-chain formula must hit the published Table-1 rows with
+  // zero error at every anchor — column by column, not just in total.
+  for (const int n : {2, 4, 8}) {
+    const CostTable want = cost_table(n);
+    const CostTable got = derived_cost_table(n);
+    EXPECT_EQ(got.add.adds, want.add.adds) << "n=" << n;
+    EXPECT_EQ(got.add.subs, want.add.subs) << "n=" << n;
+    EXPECT_EQ(got.add.muls, want.add.muls) << "n=" << n;
+    EXPECT_EQ(got.add.divs, want.add.divs) << "n=" << n;
+    EXPECT_EQ(got.mul.adds, want.mul.adds) << "n=" << n;
+    EXPECT_EQ(got.mul.subs, want.mul.subs) << "n=" << n;
+    EXPECT_EQ(got.mul.muls, want.mul.muls) << "n=" << n;
+    EXPECT_EQ(got.mul.divs, want.mul.divs) << "n=" << n;
+    EXPECT_EQ(got.div.adds, want.div.adds) << "n=" << n;
+    EXPECT_EQ(got.div.subs, want.div.subs) << "n=" << n;
+    EXPECT_EQ(got.div.muls, want.div.muls) << "n=" << n;
+    EXPECT_EQ(got.div.divs, want.div.divs) << "n=" << n;
+  }
+}
+
+TEST(DerivedRows, TripleDoubleRowPin) {
+  // The interpolated d3 row, pinned so the formula cannot drift: roughly
+  // the geometric middle of the d2 and d4 rows, with div.divs = n + 1
+  // continuing the published 3/5/9 pattern.
+  const CostTable t = cost_table(3);
+  EXPECT_EQ(t.add.adds, 21);
+  EXPECT_EQ(t.add.subs, 32);
+  EXPECT_EQ(t.add.total(), 53);
+  EXPECT_EQ(t.mul.adds, 42);
+  EXPECT_EQ(t.mul.subs, 67);
+  EXPECT_EQ(t.mul.muls, 39);
+  EXPECT_EQ(t.mul.total(), 148);
+  EXPECT_EQ(t.div.adds, 113);
+  EXPECT_EQ(t.div.subs, 198);
+  EXPECT_EQ(t.div.muls, 58);
+  EXPECT_EQ(t.div.divs, 4);
+  EXPECT_EQ(t.div.total(), 373);
+  EXPECT_NEAR(t.average(), 191.3, 0.05);
+}
+
+TEST(DerivedRows, SextupleDoubleRowPin) {
+  const CostTable t = cost_table(6);
+  EXPECT_EQ(t.add.total(), 172);
+  EXPECT_EQ(t.mul.total(), 909);
+  EXPECT_EQ(t.div.total(), 2578);
+  EXPECT_EQ(t.div.divs, 7);
+  EXPECT_NEAR(t.average(), 1219.7, 0.05);
+}
+
+TEST(DerivedRows, PerOpTotalsStrictlyIncreaseInLimbCount) {
+  // More limbs must never be modeled cheaper — the ladder's pricing
+  // depends on it.  Checked across the whole range the engine could see.
+  for (int n = 2; n < 32; ++n) {
+    const CostTable lo = cost_table(n);
+    const CostTable hi = cost_table(n + 1);
+    EXPECT_LT(lo.add.total(), hi.add.total()) << "n=" << n;
+    EXPECT_LT(lo.mul.total(), hi.mul.total()) << "n=" << n;
+    EXPECT_LT(lo.div.total(), hi.div.total()) << "n=" << n;
+  }
+}
+
+TEST(DerivedRows, CostTableIsTotalAndThrowsBelowOneLimb) {
+  // No more silent all-zero rows: every valid count prices, invalid
+  // counts throw (this test runs under NDEBUG in the default build).
+  EXPECT_GT(cost_table(5).mul.total(), 0);
+  EXPECT_GT(cost_table(16).div.total(), 0);
+  EXPECT_GT(cost_table(Precision(3)).add.total(), 0);
+  EXPECT_THROW(cost_table(0), std::invalid_argument);
+  EXPECT_THROW(cost_table(-4), std::invalid_argument);
+  EXPECT_THROW(derived_cost_table(1), std::invalid_argument);
+}
+
+TEST(OpTally, DpFlopsAtDerivedPrecision) {
+  OpTally t{.add = 2, .mul = 1};
+  EXPECT_DOUBLE_EQ(t.dp_flops(Precision(3)),
+                   2.0 * cost_table(3).add.total() + cost_table(3).mul.total());
+}
+
 TEST(Precision, NamesAndLimbs) {
   EXPECT_EQ(limbs_of(Precision::d2), 2);
   EXPECT_EQ(limbs_of(Precision::d8), 8);
   EXPECT_STREQ(name_of(Precision::d1), "1d");
   EXPECT_STREQ(name_of(Precision::d4), "4d");
+}
+
+TEST(Precision, NameOfIsTotalOverLimbCounts) {
+  EXPECT_STREQ(name_of(3), "3d");
+  EXPECT_STREQ(name_of(6), "6d");
+  EXPECT_STREQ(name_of(16), "16d");
+  EXPECT_STREQ(name_of(Precision(5)), "5d");
+  // Counts outside the static table format through the cache; the
+  // pointer must stay stable across repeated calls (printf callers hold
+  // it across the call).
+  const char* first = name_of(23);
+  EXPECT_STREQ(first, "23d");
+  EXPECT_EQ(first, name_of(23));
+  EXPECT_THROW(name_of(0), std::invalid_argument);
+  EXPECT_THROW(name_of(-1), std::invalid_argument);
 }
 
 TEST(OpTally, DpFlopsWeighting) {

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <random>
+#include <stdexcept>
 
 #include "blas/generate.hpp"
 #include "path/batched_tracker.hpp"
@@ -340,6 +341,54 @@ TEST(PathTracker, StiffPathClimbsToQuadDoubleBenignStaysAtDoubleDouble) {
   for (const auto& s : res.steps)
     for (const auto& r : s.rungs)
       EXPECT_NE(r.precision, md::Precision::d8);
+}
+
+TEST(PathTracker, ConfiguredRungSequenceStopsAtTripleDouble) {
+  // The same stiff path under a {2, 3} rung sequence: the d2 rung fails
+  // at its floor exactly as above, but escalation now lands on d3 —
+  // refinement on the cached d2 factors reaches the d3 floor (~1e-45),
+  // far below the eta ~ 1e-36 the tolerance needs, so the finer rung is
+  // sufficient and the ladder never touches d4.
+  blas::Vector<mdreal<8>> want;
+  auto h = stiff_homotopy<8>(8, 11, &want);
+  path::TrackOptions opt = base_options(4);
+  opt.tol = 1e-22;
+  opt.rungs = {2, 3};
+  auto res = path::track<8>(device::volta_v100(), h, opt);
+
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.final_precision, md::Precision(3));
+  ASSERT_GE(res.steps.size(), 1u);
+  const auto& s0 = res.steps[0];
+  ASSERT_GE(s0.rungs.size(), 2u);
+  EXPECT_EQ(s0.rungs[0].precision, md::Precision::d2);
+  EXPECT_FALSE(s0.rungs[0].accepted);
+  EXPECT_EQ(s0.rungs.back().precision, md::Precision(3));
+  EXPECT_TRUE(s0.rungs.back().accepted);
+  // Escalation refined on the cached d2 factors, no d3 refactorization.
+  EXPECT_FALSE(s0.rungs[1].refactorized);
+  EXPECT_EQ(s0.rungs[1].device_precision, md::Precision::d2);
+
+  // It really tracked the analytic path, and no rung ever exceeded d3.
+  double worst = 0;
+  for (int i = 0; i < 8; ++i)
+    worst = std::max(worst, std::fabs((res.x[static_cast<std::size_t>(i)] -
+                                       want[static_cast<std::size_t>(i)])
+                                          .to_double()));
+  EXPECT_LE(worst, 1e-25);
+  for (const auto& s : res.steps)
+    for (const auto& r : s.rungs)
+      EXPECT_LE(md::limbs_of(r.precision), 3);
+  // Exact tallies survive the odd rung.
+  EXPECT_TRUE(res.device_measured() == res.device_analytic());
+}
+
+TEST(PathTracker, InvalidRungSequenceThrows) {
+  auto h = rational_homotopy<4>(8, 2.0, 0x7ac3, nullptr);
+  auto opt = base_options(4);
+  opt.rungs = {2, 7};  // 7 limbs is not an instantiated count
+  EXPECT_THROW(path::track<4>(device::volta_v100(), h, opt),
+               std::invalid_argument);
 }
 
 // --- dry-run / functional schedule equivalence -------------------------------

@@ -16,8 +16,7 @@
 // the path to t = 1, where x*(1) = 2 v.
 #include <cstdio>
 
-#include "path/generate.hpp"
-#include "path/tracker.hpp"
+#include "mdlsq.hpp"
 
 using namespace mdlsq;
 

@@ -14,9 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "blas/matrix.hpp"
-#include "core/least_squares.hpp"
-#include "md/io.hpp"
+#include "mdlsq.hpp"
 
 using namespace mdlsq;
 

@@ -14,11 +14,7 @@
 
 #include <string>
 
-#include "blas/generate.hpp"
-#include "blas/matrix.hpp"
-#include "blas/norms.hpp"
-#include "core/adaptive_lsq.hpp"
-#include "core/least_squares.hpp"
+#include "mdlsq.hpp"
 
 using namespace mdlsq;
 

@@ -6,10 +6,7 @@
 #include <cstdio>
 #include <random>
 
-#include "blas/generate.hpp"
-#include "blas/norms.hpp"
-#include "core/least_squares.hpp"
-#include "md/io.hpp"
+#include "mdlsq.hpp"
 
 using namespace mdlsq;
 using T = md::qd_real;  // quad double: 4 limbs, eps ~ 6e-64

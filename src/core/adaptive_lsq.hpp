@@ -53,6 +53,7 @@
 #include "core/least_squares.hpp"
 #include "core/limb_dispatch.hpp"
 #include "core/refinement.hpp"
+#include "core/solve_options.hpp"
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
 #include "util/batch_report.hpp"
@@ -63,17 +64,16 @@ namespace stage {
 inline constexpr const char* cond_est = "cond est";
 }
 
-struct AdaptiveOptions {
+// Inherits the shared execution knobs (parallelism, tile_pool, rungs)
+// from core::ExecOptions; here `rungs` is the explicit ladder sequence
+// clipped to [start_limbs, max_limbs] — a finer sequence like
+// {2, 3, 4, 6, 8} lets an escalation buy one limb at a time instead of
+// doubling the cost (see core::resolve_rungs for validation semantics).
+struct AdaptiveOptions : ExecOptions {
   double tol = 1e-25;   // requested tolerance on the estimated forward error
   int tile = 8;         // tile size of the device pipeline (divides cols)
   int start_limbs = 2;  // first rung of the ladder
   int max_limbs = 0;    // last rung; 0 means the input type's limb count
-  // Explicit rung sequence (strictly increasing instantiated limb
-  // counts, clipped to [start_limbs, max_limbs]); empty means the default
-  // doubling ladder.  A finer sequence like {2, 3, 4, 6, 8} lets an
-  // escalation buy one limb at a time instead of doubling the cost —
-  // see core::resolve_rungs for validation semantics.
-  std::vector<int> rungs;
   int max_refine_iters = 12;  // refinement budget per rung
   // Refine instead of refactorizing while cond * eps(factors) stays below
   // this contraction rate (each sweep then gains >= 2 digits).
@@ -83,14 +83,6 @@ struct AdaptiveOptions {
   double floor_ulps = 64.0;
   // Refinement sweeps per post-start rung assumed by the dry-run pricing.
   int dry_refine_iters = 2;
-  // Host execution engine (DESIGN.md §5): tiled kernel bodies of every
-  // rung's Device run as up to `parallelism` concurrent tasks.  When
-  // tile_pool is null and parallelism > 1 the driver owns a pool for the
-  // call; batched_lsq passes its shared tile pool instead, so batch-level
-  // and tile-level parallelism compose without oversubscription.  Results
-  // are bit-identical at every width.
-  int parallelism = 1;
-  util::ThreadPool* tile_pool = nullptr;
 };
 
 template <int NH>

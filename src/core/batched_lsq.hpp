@@ -38,6 +38,7 @@
 #include "core/adaptive_lsq.hpp"
 #include "core/back_substitution.hpp"
 #include "core/least_squares.hpp"
+#include "core/solve_options.hpp"
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
 #include "util/batch_report.hpp"
@@ -110,7 +111,18 @@ struct BatchProblem {
   }
 };
 
-struct BatchedLsqOptions {
+// Inherits the shared execution knobs from core::ExecOptions.  Here
+// `parallelism` is the tile-level width per problem (DESIGN.md §5): every
+// problem's Device runs its tiled kernel bodies as up to `parallelism`
+// concurrent tasks — the shard's own thread plus helpers from ONE tile
+// pool shared by all shards, sized so batch-level and tile-level
+// parallelism compose without oversubscribing the host
+// (tile_pool_helpers below).  A non-null `tile_pool` supplies that shared
+// pool externally (the serve layer passes its own); null means the driver
+// sizes and owns one for the call.  A non-empty `rungs` overrides
+// `adaptive.rungs`, so one batch-level assignment configures every
+// problem's ladder.  Results are bit-identical at every width.
+struct BatchedLsqOptions : ExecOptions {
   int tile = 8;
   // Newton refinement passes on the host after the device solve
   // (r = b - A x; x += argmin ||r - A dx||).  Counted into the
@@ -120,13 +132,6 @@ struct BatchedLsqOptions {
   ShardPolicy policy = ShardPolicy::round_robin;
   device::ExecMode mode = device::ExecMode::functional;
   int threads = 0;  // host threads; 0 means one per pool slot
-  // Tile-level parallelism per problem (DESIGN.md §5): every problem's
-  // Device runs its tiled kernel bodies as up to `parallelism` concurrent
-  // tasks — the shard's own thread plus helpers from ONE tile pool shared
-  // by all shards, sized so batch-level and tile-level parallelism
-  // compose without oversubscribing the host (tile_pool_helpers below).
-  // Results are bit-identical at every width.
-  int parallelism = 1;
   BatchPipeline pipeline = BatchPipeline::direct;
   // Ladder parameters of the adaptive pipeline (its tile is overridden by
   // `tile` above so both pipelines schedule identically).  Real scalar
@@ -164,13 +169,15 @@ namespace detail {
 
 // The batched adaptive options: the ladder inherits the batch tile so
 // both pipelines schedule identically, plus the batch's tile-level
-// execution engine.
+// execution engine.  A non-empty batch-level rung sequence overrides the
+// nested ladder's so one assignment configures every problem.
 inline AdaptiveOptions ladder_options(const BatchedLsqOptions& opt,
-                                      util::ThreadPool* tile_pool) noexcept {
+                                      util::ThreadPool* tile_pool) {
   AdaptiveOptions a = opt.adaptive;
   a.tile = opt.tile;
   a.parallelism = opt.parallelism;
   a.tile_pool = tile_pool;
+  if (!opt.rungs.empty()) a.rungs = opt.rungs;
   return a;
 }
 
@@ -397,18 +404,24 @@ BatchedLsqResult<T> batched_least_squares(
     // participate in their own tiled launches and borrow helpers from
     // this pool, so total host threads stay bounded by
     // width + tile_pool_helpers() regardless of how the two knobs are
-    // combined.
-    const int helpers = detail::tile_pool_helpers(width, opt.parallelism);
-    std::optional<util::ThreadPool> tile_pool;
-    if (helpers > 0) tile_pool.emplace(helpers);
+    // combined.  An externally supplied opt.tile_pool (the serve layer's)
+    // is used as-is; otherwise the driver sizes and owns one.
+    std::optional<util::ThreadPool> owned_pool;
+    util::ThreadPool* tile_pool = opt.tile_pool;
+    if (tile_pool == nullptr) {
+      const int helpers = detail::tile_pool_helpers(width, opt.parallelism);
+      if (helpers > 0) {
+        owned_pool.emplace(helpers);
+        tile_pool = &*owned_pool;
+      }
+    }
     util::ThreadPool workers(width);
     for (int s = 0; s < d; ++s) {
       workers.submit([&, s] {
         for (int i : out.shards[static_cast<std::size_t>(s)])
           out.problems[static_cast<std::size_t>(i)] = detail::solve_one<T>(
               *pool.slots[static_cast<std::size_t>(s)], s, i,
-              problems[static_cast<std::size_t>(i)], opt,
-              tile_pool ? &*tile_pool : nullptr);
+              problems[static_cast<std::size_t>(i)], opt, tile_pool);
       });
     }
     workers.wait();

@@ -41,16 +41,77 @@ struct LeastSquaresResult {
   BlockedQrOutput<T> factors;
 };
 
+// The post-factorization stages of the pipeline — y = (Q^H b)[0:C]
+// against a RESIDENT Q, the plane-contiguous copy of R's leading triangle
+// into the back-substitution operand, and the tiled back substitution —
+// shared verbatim by the cold pipeline (least_squares_run below) and the
+// serve layer's warm cache-hit path (serve/service.hpp), which replays
+// them against factors held resident by the factor cache.  Warm solves
+// are limb-identical to cold solves by construction: the QR pipeline is
+// deterministic, so cached factors are bit-identical to freshly computed
+// ones, and this function issues the identical launches either way.
+// Functional mode returns the resident solution (the caller unstages it);
+// dry-run mode prices the identical schedule with null operands.
+template <class T>
+device::Staged1D<T> staged_lsq_finish(device::Device& dev,
+                                      const StagedQr<T>* f,
+                                      const device::Staged1D<T>* sb, int M,
+                                      int C, int tile) {
+  using O = ops_of<T>;
+  const bool fn = dev.functional();
+  assert(!fn || (f != nullptr && sb != nullptr));
+  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
+
+  // y = (Q^H b)[0:C] against the RESIDENT Q, one block per output entry;
+  // each y_j is one whole dot product, so the launch fans out over column
+  // blocks (DESIGN.md §5).
+  device::Staged1D<T> y;
+  if (fn) y = device::Staged1D<T>(C);
+  {
+    const md::OpTally ops = O::fma() * (std::int64_t(M) * C);
+    const md::OpTally serial = O::fma() * ceil_div(M, tile) + O::add() * 6;
+    dev.launch_tiled(
+        stage::qhb, C, tile, ops, (std::int64_t(M) * C + M + C) * esz, serial,
+        blas::block_count(C, dev.parallelism()), [&](int task) {
+          const auto blk = blas::block_range(C, dev.parallelism(), task);
+          const auto qv = f->q.view();
+          const auto bv = sb->view();
+          for (int j = blk.begin; j < blk.end; ++j) {
+            T s{};
+            for (int i = 0; i < M; ++i)
+              s += blas::conj_of(qv.get(i, j)) * bv.get(i, 0);
+            y.set(j, s);
+          }
+        });
+  }
+
+  if (fn) {
+    // The back substitution inverts diagonal tiles in place, so it runs
+    // on a device-side copy of R's leading triangle (plane-contiguous
+    // row-segment copies; zeros elsewhere) — the resident factors stay
+    // intact for reuse.
+    device::Staged2D<T> rtop(C, C);
+    const auto rv = f->r.view();
+    const auto tv = rtop.view();
+    for (int i = 0; i < C; ++i)
+      for (int s = 0; s < blas::StagedView<T>::planes; ++s)
+        md::planes::copy(rv.row_segment(s, i, i, C - i),
+                         tv.row_segment(s, i, i, C - i));
+    tiled_back_sub_staged_run<T>(dev, &rtop, &y, C / tile, tile);
+  } else {
+    tiled_back_sub_staged_run<T>(dev, nullptr, nullptr, C / tile, tile);
+  }
+  return y;
+}
+
 template <class T>
 LeastSquaresResult<T> least_squares_run(device::Device& dev,
                                         const blas::Matrix<T>* a,
                                         const blas::Vector<T>* b, int M,
                                         int C, int tile) {
-  using O = ops_of<T>;
   assert(C % tile == 0 && M >= C);
   const bool fn = dev.functional();
   assert(!fn || (a != nullptr && b != nullptr));
-  const std::int64_t esz = 8 * blas::scalar_traits<T>::doubles_per_element;
 
   LeastSquaresResult<T> out;
 
@@ -69,48 +130,14 @@ LeastSquaresResult<T> least_squares_run(device::Device& dev,
       blocked_qr_staged_run<T>(dev, fn ? &sa : nullptr, M, C, tile);
   out.qr_kernel_ms = dev.kernel_ms();
 
-  // y = (Q^H b)[0:C] against the RESIDENT Q, one block per output entry;
-  // each y_j is one whole dot product, so the launch fans out over column
-  // blocks (DESIGN.md §5).
-  device::Staged1D<T> y;
-  if (fn) y = device::Staged1D<T>(C);
-  {
-    const md::OpTally ops = O::fma() * (std::int64_t(M) * C);
-    const md::OpTally serial = O::fma() * ceil_div(M, tile) + O::add() * 6;
-    dev.launch_tiled(
-        stage::qhb, C, tile, ops, (std::int64_t(M) * C + M + C) * esz, serial,
-        blas::block_count(C, dev.parallelism()), [&](int task) {
-          const auto blk = blas::block_range(C, dev.parallelism(), task);
-          const auto qv = f.q.view();
-          const auto bv = sb.view();
-          for (int j = blk.begin; j < blk.end; ++j) {
-            T s{};
-            for (int i = 0; i < M; ++i)
-              s += blas::conj_of(qv.get(i, j)) * bv.get(i, 0);
-            y.set(j, s);
-          }
-        });
-  }
+  device::Staged1D<T> y = staged_lsq_finish<T>(dev, fn ? &f : nullptr,
+                                               fn ? &sb : nullptr, M, C, tile);
+  out.bs_kernel_ms = dev.kernel_ms() - out.qr_kernel_ms;
 
   if (fn) {
-    // The back substitution inverts diagonal tiles in place, so it runs
-    // on a device-side copy of R's leading triangle (plane-contiguous
-    // row-segment copies; zeros elsewhere) — the resident factors stay
-    // intact for reuse.
-    device::Staged2D<T> rtop(C, C);
-    const auto rv = f.r.view();
-    const auto tv = rtop.view();
-    for (int i = 0; i < C; ++i)
-      for (int s = 0; s < blas::StagedView<T>::planes; ++s)
-        md::planes::copy(rv.row_segment(s, i, i, C - i),
-                         tv.row_segment(s, i, i, C - i));
-    tiled_back_sub_staged_run<T>(dev, &rtop, &y, C / tile, tile);
-    out.bs_kernel_ms = dev.kernel_ms() - out.qr_kernel_ms;
     out.x = dev.unstage(y);
     out.factors = BlockedQrOutput<T>{dev.unstage(f.q), dev.unstage(f.r)};
   } else {
-    tiled_back_sub_staged_run<T>(dev, nullptr, nullptr, C / tile, tile);
-    out.bs_kernel_ms = dev.kernel_ms() - out.qr_kernel_ms;
     dev.price_staging<T>(C, 1);
     dev.price_staging<T>(M, M);
     dev.price_staging<T>(M, C);

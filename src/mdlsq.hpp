@@ -1,0 +1,84 @@
+// The public facade of the library — include this one header and the
+// supported surface is in scope.  Applications (examples/) should depend
+// only on this file; the per-layer headers underneath remain includable
+// individually for fine-grained builds, but their internal organization
+// (which header defines which options struct, where the staged pipeline
+// helpers live) is not part of the supported surface.
+//
+// The supported entry points, re-exported into the top-level mdlsq
+// namespace so user code does not chase sub-namespaces:
+//
+//   least_squares          — blocked QR + Q^H b + tiled back substitution
+//                            (core/least_squares.hpp)
+//   adaptive_least_squares — the precision-ladder driver
+//                            (core/adaptive_lsq.hpp)
+//   batched_least_squares  — multi-device batches over a DevicePool
+//                            (core/batched_lsq.hpp)
+//   track / batched_track  — homotopy path tracking (path/tracker.hpp,
+//                            path/batched_tracker.hpp; also reachable as
+//                            mdlsq::path::track)
+//   SolverService          — the persistent request-serving daemon with
+//                            factor cache and admission control
+//                            (serve/service.hpp; request/response types
+//                            stay in mdlsq::serve)
+//
+// Options structs, device types (device::Device, DeviceSpec presets),
+// matrix/vector containers (blas::Matrix, blas::Vector), the md scalar
+// types and io helpers all arrive through the same include.
+#pragma once
+
+#include "blas/generate.hpp"
+#include "blas/matrix.hpp"
+#include "blas/norms.hpp"
+#include "core/adaptive_lsq.hpp"
+#include "core/batched_lsq.hpp"
+#include "core/least_squares.hpp"
+#include "core/solve_options.hpp"
+#include "device/device_spec.hpp"
+#include "device/launch.hpp"
+#include "md/io.hpp"
+#include "path/batched_tracker.hpp"
+#include "path/generate.hpp"
+#include "path/tracker.hpp"
+#include "serve/api.hpp"
+#include "serve/factor_cache.hpp"
+#include "serve/service.hpp"
+#include "util/batch_report.hpp"
+
+namespace mdlsq {
+
+// Shared execution knobs and the solver drivers (core/).
+using core::ExecOptions;
+
+using core::least_squares;
+using core::least_squares_dry;
+using core::LeastSquaresResult;
+
+using core::adaptive_least_squares;
+using core::adaptive_least_squares_dry;
+using core::AdaptiveLsqResult;
+using core::AdaptiveOptions;
+
+using core::batched_least_squares;
+using core::BatchedLsqOptions;
+using core::BatchedLsqResult;
+using core::BatchPipeline;
+using core::BatchProblem;
+using core::DevicePool;
+using core::ShardPolicy;
+
+// Path tracking (path/).
+using path::batched_track;
+using path::BatchedTrackOptions;
+using path::Homotopy;
+using path::track;
+using path::track_dry;
+using path::TrackOptions;
+using path::TrackProblem;
+using path::TrackResult;
+
+// The service daemon (serve/); Request/Response and the cache types stay
+// namespaced under mdlsq::serve.
+using serve::SolverService;
+
+}  // namespace mdlsq

@@ -66,12 +66,17 @@ struct TrackProblem {
   }
 };
 
-struct BatchedTrackOptions {
+// Inherits the shared execution knobs from core::ExecOptions:
+// `parallelism` is the tile-level width per path (DESIGN.md §5), a
+// non-null `tile_pool` supplies the shared helper pool externally (null
+// means the driver sizes and owns one), and a non-empty `rungs` overrides
+// `track.rungs` so one batch-level assignment configures every path's
+// per-step ladder.
+struct BatchedTrackOptions : core::ExecOptions {
   TrackOptions track;
   core::ShardPolicy policy = core::ShardPolicy::round_robin;
   device::ExecMode mode = device::ExecMode::functional;
-  int threads = 0;      // host threads; 0 means one per pool slot
-  int parallelism = 1;  // tile-level width per path (DESIGN.md §5)
+  int threads = 0;  // host threads; 0 means one per pool slot
 };
 
 template <int NH>
@@ -89,6 +94,45 @@ struct BatchedTrackResult {
   util::BatchReport report;
 };
 
+namespace detail {
+
+// Shared validation of a batch (thrown std::invalid_argument, the PR 7
+// convention — these guards sit on the service path and must survive
+// NDEBUG).  Every path needs positive dimensions and at least constant
+// homotopy terms whether it came from a real Homotopy (whose own ctor
+// enforces this) or from TrackProblem::dry, where nothing else checks.
+template <int NH>
+void validate_track_batch(const std::vector<TrackProblem<NH>>& problems,
+                          const BatchedTrackOptions& opt) {
+  if (opt.threads < 0)
+    throw std::invalid_argument("mdlsq: batched_track threads must be >= 0");
+  if (opt.parallelism < 1)
+    throw std::invalid_argument(
+        "mdlsq: batched_track parallelism must be >= 1");
+  for (const auto& p : problems) {
+    if (p.dim() < 1)
+      throw std::invalid_argument(
+          "mdlsq: batched_track paths need dimension >= 1");
+    if (p.a_terms() < 1 || p.b_terms() < 1)
+      throw std::invalid_argument(
+          "mdlsq: batched_track paths need at least constant A and b terms");
+  }
+}
+
+// The per-path tracker options: the batch's tile-level execution engine
+// plus the batch-level rung override, so pricing and execution see the
+// same ladder.
+inline TrackOptions path_track_options(const BatchedTrackOptions& opt,
+                                       util::ThreadPool* tile_pool) {
+  TrackOptions t = opt.track;
+  t.parallelism = opt.parallelism;
+  t.tile_pool = tile_pool;
+  if (!opt.rungs.empty()) t.rungs = opt.rungs;
+  return t;
+}
+
+}  // namespace detail
+
 // Pool-slot assignment without tracking anything; the greedy policy
 // prices each path with the dry-run schedule per distinct slot spec.
 template <int NH>
@@ -99,6 +143,7 @@ std::vector<std::vector<int>> track_shard_assignment(
   const int d = pool.size();
   if (d < 1)
     throw std::invalid_argument("mdlsq: batched_track needs a nonempty pool");
+  detail::validate_track_batch<NH>(problems, opt);
   std::vector<std::vector<int>> shards(static_cast<std::size_t>(d));
 
   if (opt.policy == core::ShardPolicy::round_robin) {
@@ -116,12 +161,13 @@ std::vector<std::vector<int>> track_shard_assignment(
         break;
       }
     if (est[static_cast<std::size_t>(s)].empty()) {
+      const TrackOptions topt = detail::path_track_options(opt, nullptr);
       est[static_cast<std::size_t>(s)].resize(problems.size());
       for (std::size_t i = 0; i < problems.size(); ++i)
         est[static_cast<std::size_t>(s)][i] =
             track_dry(*pool.slots[static_cast<std::size_t>(s)],
                       problems[i].dim(), problems[i].a_terms(),
-                      problems[i].b_terms(), opt.track)
+                      problems[i].b_terms(), topt)
                 .wall_ms;
     }
   }
@@ -161,6 +207,7 @@ BatchedTrackResult<NH> batched_track(
   const int d = pool.size();
   if (d < 1)
     throw std::invalid_argument("mdlsq: batched_track needs a nonempty pool");
+  detail::validate_track_batch<NH>(problems, opt);
   for (const auto& p : problems)
     if (opt.mode == device::ExecMode::functional && !p.homotopy)
       throw std::invalid_argument(
@@ -172,9 +219,18 @@ BatchedTrackResult<NH> batched_track(
 
   {
     const int width = opt.threads > 0 ? std::min(opt.threads, d) : d;
-    const int helpers = core::detail::tile_pool_helpers(width, opt.parallelism);
-    std::optional<util::ThreadPool> tile_pool;
-    if (helpers > 0) tile_pool.emplace(helpers);
+    // An externally supplied opt.tile_pool (the serve layer's) is used
+    // as-is; otherwise the driver sizes and owns one (DESIGN.md §5).
+    std::optional<util::ThreadPool> owned_pool;
+    util::ThreadPool* tile_pool = opt.tile_pool;
+    if (tile_pool == nullptr) {
+      const int helpers =
+          core::detail::tile_pool_helpers(width, opt.parallelism);
+      if (helpers > 0) {
+        owned_pool.emplace(helpers);
+        tile_pool = &*owned_pool;
+      }
+    }
     util::ThreadPool workers(width);
     for (int s = 0; s < d; ++s) {
       workers.submit([&, s] {
@@ -185,13 +241,11 @@ BatchedTrackResult<NH> batched_track(
           r.path = i;
           r.device = s;
           if (opt.mode == device::ExecMode::functional) {
-            TrackOptions topt = opt.track;
-            topt.parallelism = opt.parallelism;
-            topt.tile_pool = tile_pool ? &*tile_pool : nullptr;
-            r.result = track<NH>(spec, *p.homotopy, topt);
+            r.result = track<NH>(spec, *p.homotopy,
+                                 detail::path_track_options(opt, tile_pool));
           } else {
             r.dry = track_dry(spec, p.dim(), p.a_terms(), p.b_terms(),
-                              opt.track);
+                              detail::path_track_options(opt, nullptr));
           }
         }
       });

@@ -59,6 +59,7 @@
 #include "blas/gemm.hpp"
 #include "core/adaptive_lsq.hpp"
 #include "core/block_toeplitz.hpp"
+#include "core/solve_options.hpp"
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
 #include "path/homotopy.hpp"
@@ -77,7 +78,10 @@ inline constexpr const char* residual = "track residual";
 
 enum class PredictorKind { series, pade };
 
-struct TrackOptions {
+// Inherits the shared execution knobs (parallelism, tile_pool, rungs)
+// from core::ExecOptions; here `rungs` configures the per-step ladder
+// (validation and clipping semantics are core::resolve_rungs').
+struct TrackOptions : core::ExecOptions {
   double t_start = 0.0;
   double t_end = 1.0;
   // Per-step acceptance: cond_estimate * backward_error <= tol.
@@ -86,10 +90,6 @@ struct TrackOptions {
   int tile = 4;               // device pipeline tile (must divide the dim)
   int start_limbs = 2;        // first rung of the per-step ladder
   int max_limbs = 0;          // 0: the input type's limb count
-  // Explicit rung sequence for the per-step ladder (strictly increasing
-  // instantiated limb counts); empty means the default doubling ladder.
-  // Validation and clipping semantics are core::resolve_rungs'.
-  std::vector<int> rungs;
   double step_factor = 0.25;  // h = step_factor * pole_radius
   double max_step = 0.25;
   double min_step = 1e-8;
@@ -102,9 +102,6 @@ struct TrackOptions {
   double refine_rate_threshold = 1e-2;
   PredictorKind predictor = PredictorKind::series;
   int pade_denominator = 1;  // denominator degree of the Padé predictor
-  // Host execution engine (DESIGN.md §5), as in AdaptiveOptions.
-  int parallelism = 1;
-  util::ThreadPool* tile_pool = nullptr;
   // Expected-schedule parameters of the dry-run pricing.
   int dry_steps = 8;
   int dry_corrector_iters = 2;

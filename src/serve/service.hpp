@@ -1,0 +1,494 @@
+// The solver service (DESIGN.md §11): a persistent daemon over a
+// core::DevicePool that turns the repo's one-shot drivers into a
+// long-running, admission-controlled, fair-share request server.
+//
+//   admission control — submit() prices every request with the existing
+//     dry-run pricers (least_squares_dry, adaptive_least_squares_dry,
+//     track_dry) against the pool's first slot and rejects WITH A REASON
+//     when the queue depth or the modeled-cost backlog would exceed the
+//     configured limits.  Rejection is a Response (the future resolves
+//     immediately with JobStatus::rejected); malformed requests throw
+//     std::invalid_argument from submit() instead — capacity is data,
+//     misuse is an exception.
+//
+//   fair-share scheduling — accepted jobs queue per tenant (FIFO within
+//     a tenant, so job ids also order execution per tenant); each worker
+//     serves the tenant with the LEAST modeled cost dispatched so far,
+//     so a tenant flooding the queue with expensive jobs cannot starve a
+//     light one: cost, not job count, is the fairness currency, and the
+//     dry-run pricers supply it machine-independently.
+//
+//   factor cache — fixed-precision LsqJobs consult the FactorCache
+//     before factorizing.  A hit stages ONLY the right-hand side and
+//     replays core::staged_lsq_finish against the resident cached
+//     factors — the identical post-factorization launches the cold path
+//     issues — so warm results are limb-identical to cold results and
+//     measured == analytic holds unchanged (the warm schedule is a
+//     subset of the cold schedule, not a different algorithm).  A miss
+//     runs the cold pipeline and inserts the still-resident factors.
+//
+//   execution — one worker thread per pool slot, each running jobs on
+//     its slot's DeviceSpec with a fresh Device per job (the batched
+//     drivers' isolation argument: results are bit-identical to
+//     sequential solves and tallies are exact per job, so service-level
+//     conservation — sum of per-job tallies == aggregate report tally —
+//     holds by construction).  Tiled kernel bodies of every job may
+//     additionally fan out over ONE shared tile pool (DESIGN.md §5),
+//     sized once for the whole service.
+//
+// Every completed job streams its util::BatchDeviceRow to the optional
+// row sink and folds it into the aggregate util::BatchReport via
+// BatchReport::absorb, giving the daemon the same table the batched
+// drivers print.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/adaptive_lsq.hpp"
+#include "core/batched_lsq.hpp"
+#include "core/least_squares.hpp"
+#include "core/solve_options.hpp"
+#include "device/launch.hpp"
+#include "path/tracker.hpp"
+#include "serve/api.hpp"
+#include "serve/factor_cache.hpp"
+#include "util/batch_report.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdlsq::serve {
+
+struct ServiceOptions {
+  // Admission control: reject when this many jobs are already queued...
+  int queue_limit = 64;
+  // ...or when the queued modeled cost plus the new job's would exceed
+  // this many modeled milliseconds.  0 disables the backlog limit.
+  double backlog_limit_ms = 0.0;
+  // Factor cache byte budget; 0 disables caching entirely.
+  std::int64_t cache_bytes = std::int64_t(64) << 20;
+  // Tile-level width per job (DESIGN.md §5); the service owns one shared
+  // tile pool sized for pool.size() concurrent jobs.
+  int parallelism = 1;
+  // Streamed per-job report rows, called as each job completes (from the
+  // worker thread that ran it; the sink must be thread-safe).  The job id
+  // is row.problems[0].
+  std::function<void(const util::BatchDeviceRow&)> row_sink;
+};
+
+// Aggregate counters of one service instance.  The tally pair is the
+// service-level conservation invariant: analytic == measured, and both
+// equal the sum of the per-job Response tallies and the aggregate
+// report's tally.
+struct ServiceStats {
+  std::int64_t submitted = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;      // job threw; exception forwarded to future
+  std::int64_t queued = 0;      // currently waiting
+  std::int64_t running = 0;     // currently executing
+  double backlog_ms = 0.0;      // modeled cost currently queued
+  md::OpTally analytic;         // summed over completed jobs
+  md::OpTally measured;
+  double kernel_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+template <int NH>
+class SolverService {
+  using T = md::mdreal<NH>;
+
+ public:
+  explicit SolverService(core::DevicePool pool, ServiceOptions opt = {})
+      : pool_(std::move(pool)), opt_(std::move(opt)),
+        cache_(opt_.cache_bytes > 0 ? opt_.cache_bytes : 0) {
+    if (pool_.size() < 1)
+      throw std::invalid_argument("mdlsq: SolverService needs a nonempty pool");
+    if (opt_.queue_limit < 1)
+      throw std::invalid_argument(
+          "mdlsq: SolverService queue limit must be >= 1");
+    if (opt_.backlog_limit_ms < 0)
+      throw std::invalid_argument(
+          "mdlsq: SolverService backlog limit must be >= 0");
+    if (opt_.parallelism < 1)
+      throw std::invalid_argument(
+          "mdlsq: SolverService parallelism must be >= 1");
+    report_.precision = md::Precision(NH);
+    report_.policy = "fair-share";
+    report_.pipeline = "serve";
+    const int helpers =
+        core::detail::tile_pool_helpers(pool_.size(), opt_.parallelism);
+    if (helpers > 0) tile_pool_.emplace(helpers);
+    workers_.reserve(static_cast<std::size_t>(pool_.size()));
+    for (int s = 0; s < pool_.size(); ++s)
+      workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  ~SolverService() {
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  // Prices, admits (or rejects), and enqueues one request.  Thread-safe.
+  SubmitTicket<NH> submit(Request<NH> req) {
+    validate(req);
+    const double cost = price(req);
+
+    const std::string tenant = req.tenant.empty() ? "default" : req.tenant;
+
+    Job job;
+    job.tenant = tenant;
+    job.req = std::move(req);
+    job.cost_ms = cost;
+
+    SubmitTicket<NH> ticket;
+    ticket.result = job.promise.get_future();
+
+    std::string reject;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job.id = next_id_++;
+      ticket.id = job.id;
+      ++stats_.submitted;
+      if (stats_.queued >= opt_.queue_limit) {
+        reject = "queue depth " + std::to_string(stats_.queued) +
+                 " at limit " + std::to_string(opt_.queue_limit);
+      } else if (opt_.backlog_limit_ms > 0 &&
+                 stats_.backlog_ms + cost > opt_.backlog_limit_ms) {
+        reject = "modeled backlog " + format_ms(stats_.backlog_ms) +
+                 " ms + job " + format_ms(cost) + " ms exceeds limit " +
+                 format_ms(opt_.backlog_limit_ms) + " ms";
+      }
+      if (reject.empty()) {
+        ++stats_.accepted;
+        ++stats_.queued;
+        stats_.backlog_ms += cost;
+        queues_[tenant].push_back(std::move(job));
+      } else {
+        ++stats_.rejected;
+      }
+    }
+
+    if (reject.empty()) {
+      ticket.accepted = true;
+      cv_.notify_one();
+    } else {
+      ticket.accepted = false;
+      ticket.reject_reason = reject;
+      Response<NH> resp;
+      resp.id = ticket.id;
+      resp.tenant = tenant;
+      resp.status = JobStatus::rejected;
+      resp.reject_reason = reject;
+      resp.modeled_cost_ms = cost;
+      job.promise.set_value(std::move(resp));
+    }
+    return ticket;
+  }
+
+  // Blocks until every accepted job has completed.  Jobs submitted while
+  // draining extend the wait.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return stats_.queued == 0 && stats_.running == 0; });
+  }
+
+  ServiceStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  FactorCacheStats cache_stats() const { return cache_.stats(); }
+  util::BatchReport report() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return report_;
+  }
+  const core::DevicePool& pool() const noexcept { return pool_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::string tenant;
+    Request<NH> req;
+    double cost_ms = 0.0;
+    std::promise<Response<NH>> promise;
+  };
+
+  static std::string format_ms(double ms) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+    return buf;
+  }
+
+  // Malformed requests throw here, before any id is spent.
+  static void validate(const Request<NH>& req) {
+    if (const auto* j = std::get_if<LsqJob<NH>>(&req.job)) {
+      validate_lsq_shape(j->a, j->b, j->tile, "LsqJob");
+    } else if (const auto* aj = std::get_if<AdaptiveLsqJob<NH>>(&req.job)) {
+      validate_lsq_shape(aj->a, aj->b, aj->opt.tile, "AdaptiveLsqJob");
+    } else if (const auto* tj = std::get_if<TrackJob<NH>>(&req.job)) {
+      if (tj->opt.tile < 1 || tj->h.dim() % tj->opt.tile != 0)
+        throw std::invalid_argument(
+            "mdlsq: TrackJob tile must be >= 1 and divide the dimension");
+    }
+  }
+
+  static void validate_lsq_shape(const blas::Matrix<T>& a,
+                                 const blas::Vector<T>& b, int tile,
+                                 const char* kind) {
+    if (a.rows() < 1 || a.cols() < 1 || a.rows() < a.cols())
+      throw std::invalid_argument(std::string("mdlsq: ") + kind +
+                                  " needs rows >= cols >= 1");
+    if (static_cast<int>(b.size()) != a.rows())
+      throw std::invalid_argument(std::string("mdlsq: ") + kind +
+                                  " rhs length must equal rows");
+    if (tile < 1 || a.cols() % tile != 0)
+      throw std::invalid_argument(std::string("mdlsq: ") + kind +
+                                  " tile must be >= 1 and divide cols");
+  }
+
+  // Admission price: the modeled wall time of the job's dry-run schedule
+  // against the pool's first slot (heterogeneous pools are priced at
+  // slot 0; fairness only needs a consistent currency).
+  double price(const Request<NH>& req) const {
+    const device::DeviceSpec& spec = *pool_.slots[0];
+    if (const auto* j = std::get_if<LsqJob<NH>>(&req.job)) {
+      device::Device dev(spec, md::Precision(NH), device::ExecMode::dry_run);
+      core::least_squares_dry<T>(dev, j->a.rows(), j->a.cols(), j->tile);
+      return dev.wall_ms();
+    }
+    if (const auto* aj = std::get_if<AdaptiveLsqJob<NH>>(&req.job))
+      return core::adaptive_least_squares_dry<T>(spec, aj->a.rows(),
+                                                 aj->a.cols(), aj->opt)
+          .wall_ms();
+    const auto& tj = std::get<TrackJob<NH>>(req.job);
+    return path::track_dry(spec, tj.h.dim(), tj.h.a_terms(), tj.h.b_terms(),
+                           tj.opt)
+        .wall_ms;
+  }
+
+  // Fair-share pop (mu_ held): the tenant with the least modeled cost
+  // dispatched so far goes first (ties broken by tenant name for
+  // determinism); FIFO within the tenant.  The job's cost is charged at
+  // dispatch so concurrent workers immediately see the updated share.
+  Job pop_fair_locked() {
+    auto best = queues_.end();
+    for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+      if (it->second.empty()) continue;
+      if (best == queues_.end() ||
+          served_[it->first] < served_[best->first])
+        best = it;
+    }
+    Job job = std::move(best->second.front());
+    best->second.pop_front();
+    served_[best->first] += job.cost_ms;
+    --stats_.queued;
+    stats_.backlog_ms -= job.cost_ms;
+    ++stats_.running;
+    return job;
+  }
+
+  void worker_loop(int slot) {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || stats_.queued > 0; });
+        if (stats_.queued == 0) {
+          if (stopping_) return;
+          continue;
+        }
+        job = pop_fair_locked();
+      }
+
+      Response<NH> resp;
+      bool ok = true;
+      std::exception_ptr error;
+      try {
+        resp = execute(slot, job);
+      } catch (...) {
+        ok = false;
+        error = std::current_exception();
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --stats_.running;
+        if (ok) {
+          ++stats_.completed;
+          stats_.analytic += resp.analytic;
+          stats_.measured += resp.measured;
+          stats_.kernel_ms += resp.kernel_ms;
+          stats_.wall_ms += resp.wall_ms;
+          report_.absorb(resp.row);
+          for (const auto& r : resp.rungs) report_.absorb_rung(r);
+          if (std::holds_alternative<TrackJob<NH>>(job.req.job))
+            report_.paths.push_back(util::BatchPathRow{
+                static_cast<int>(resp.id), slot, resp.steps,
+                resp.correction_solves, resp.final_precision, resp.converged,
+                resp.analytic, resp.kernel_ms});
+        } else {
+          ++stats_.failed;
+        }
+      }
+      if (ok && opt_.row_sink) opt_.row_sink(resp.row);
+      if (ok)
+        job.promise.set_value(std::move(resp));
+      else
+        job.promise.set_exception(error);
+      idle_cv_.notify_all();
+    }
+  }
+
+  // Runs one job on this worker's pool slot; fills everything but the
+  // scheduling fields of the Response.
+  Response<NH> execute(int slot, Job& job) {
+    const device::DeviceSpec& spec = *pool_.slots[static_cast<std::size_t>(
+        slot)];
+    Response<NH> resp;
+    resp.id = job.id;
+    resp.tenant = job.tenant;
+    resp.modeled_cost_ms = job.cost_ms;
+
+    if (auto* j = std::get_if<LsqJob<NH>>(&job.req.job)) {
+      run_lsq(spec, *j, resp);
+    } else if (auto* aj = std::get_if<AdaptiveLsqJob<NH>>(&job.req.job)) {
+      run_adaptive(spec, *aj, resp);
+    } else {
+      run_track(spec, std::get<TrackJob<NH>>(job.req.job), resp);
+    }
+
+    resp.row.device = slot;
+    resp.row.name = spec.name;
+    resp.row.problems = {static_cast<int>(resp.id)};
+    resp.row.tally = resp.analytic;
+    resp.row.kernel_ms = resp.kernel_ms;
+    resp.row.wall_ms = resp.wall_ms;
+    return resp;
+  }
+
+  // Fixed-precision least squares through the factor cache.  Warm path:
+  // stage b only, replay the shared post-factorization stages against
+  // the cached resident factors (limb-identical to cold by construction
+  // — see core::staged_lsq_finish).  Cold path: the full pipeline, then
+  // the still-resident factors go into the cache.
+  void run_lsq(const device::DeviceSpec& spec, LsqJob<NH>& job,
+               Response<NH>& resp) {
+    const int M = job.a.rows(), C = job.a.cols();
+    device::Device dev(spec, md::Precision(NH),
+                       device::ExecMode::functional);
+    dev.set_parallelism(tile_pool_ ? &*tile_pool_ : nullptr,
+                        opt_.parallelism);
+
+    std::shared_ptr<const core::StagedQr<T>> cached;
+    FactorKey key;
+    if (opt_.cache_bytes > 0) {
+      key = FactorKey{fingerprint(job.a), NH, FactorKind::qr};
+      cached = cache_.template find<core::StagedQr<T>>(key);
+    }
+
+    if (cached != nullptr) {
+      device::Staged1D<T> sb = dev.stage(job.b);
+      device::Staged1D<T> y =
+          core::staged_lsq_finish<T>(dev, cached.get(), &sb, M, C, job.tile);
+      resp.x = dev.unstage(y);
+      resp.cache_hit = true;
+    } else {
+      device::Staged2D<T> sa = dev.stage(job.a);
+      device::Staged1D<T> sb = dev.stage(job.b);
+      core::StagedQr<T> f =
+          core::blocked_qr_staged_run<T>(dev, &sa, M, C, job.tile);
+      device::Staged1D<T> y =
+          core::staged_lsq_finish<T>(dev, &f, &sb, M, C, job.tile);
+      resp.x = dev.unstage(y);
+      if (opt_.cache_bytes > 0) {
+        const std::int64_t bytes = f.q.bytes() + f.r.bytes();
+        cache_.insert(key,
+                      std::make_shared<const core::StagedQr<T>>(std::move(f)),
+                      bytes);
+      }
+    }
+    resp.analytic = dev.analytic_total();
+    resp.measured = dev.measured_total();
+    resp.kernel_ms = dev.kernel_ms();
+    resp.wall_ms = dev.wall_ms();
+    resp.row.dp_gflop = resp.analytic.dp_flops(md::Precision(NH)) * 1e-9;
+  }
+
+  void run_adaptive(const device::DeviceSpec& spec, AdaptiveLsqJob<NH>& job,
+                    Response<NH>& resp) {
+    core::AdaptiveOptions aopt = job.opt;
+    aopt.parallelism = opt_.parallelism;
+    aopt.tile_pool = tile_pool_ ? &*tile_pool_ : nullptr;
+    auto sol = core::adaptive_least_squares<NH>(spec, job.a, job.b, aopt);
+    resp.x = std::move(sol.x);
+    resp.converged = sol.converged;
+    resp.final_precision = sol.final_precision;
+    resp.analytic = sol.device_analytic();
+    resp.measured = sol.device_measured();
+    resp.kernel_ms = sol.kernel_ms();
+    resp.wall_ms = sol.wall_ms();
+    resp.row.dp_gflop = sol.dp_gflop();
+    resp.rungs = std::move(sol.rungs);
+  }
+
+  void run_track(const device::DeviceSpec& spec, const TrackJob<NH>& job,
+                 Response<NH>& resp) {
+    path::TrackOptions topt = job.opt;
+    topt.parallelism = opt_.parallelism;
+    topt.tile_pool = tile_pool_ ? &*tile_pool_ : nullptr;
+    auto res = path::track<NH>(spec, job.h, topt);
+    resp.x = std::move(res.x);
+    resp.converged = res.converged;
+    resp.final_precision = res.final_precision;
+    resp.analytic = res.device_analytic();
+    resp.measured = res.device_measured();
+    resp.kernel_ms = res.kernel_ms();
+    resp.wall_ms = res.wall_ms();
+    resp.row.dp_gflop = res.dp_gflop();
+    resp.steps = static_cast<int>(res.steps.size());
+    resp.correction_solves = res.correction_solves();
+  }
+
+  core::DevicePool pool_;
+  ServiceOptions opt_;
+  FactorCache cache_;
+  std::optional<util::ThreadPool> tile_pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  std::map<std::string, std::deque<Job>> queues_;   // per-tenant FIFO
+  std::map<std::string, double> served_;            // dispatched cost
+  ServiceStats stats_;
+  util::BatchReport report_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mdlsq::serve

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,63 @@ struct BatchReport {
     int n = 0;
     for (const auto& r : rows) n += static_cast<int>(r.problems.size());
     return n;
+  }
+
+  // Folds one streamed per-job device row into the aggregate: the row
+  // accumulates into the matching pool-slot row (created on first use),
+  // the batch totals, and the modeled makespan (devices run concurrently,
+  // so the aggregate finishes with its slowest slot).  The serve layer
+  // streams rows through here as jobs complete.  Validation throws
+  // std::invalid_argument and survives NDEBUG — a negative slot index or
+  // negative times would corrupt the aggregate silently in release
+  // builds, where every service runs.
+  void absorb(const BatchDeviceRow& r) {
+    if (r.device < 0)
+      throw std::invalid_argument(
+          "mdlsq: BatchReport::absorb needs a pool-slot index >= 0");
+    if (r.kernel_ms < 0 || r.wall_ms < 0 || r.dp_gflop < 0)
+      throw std::invalid_argument(
+          "mdlsq: BatchReport::absorb needs nonnegative times and flops");
+    if (static_cast<std::size_t>(r.device) >= rows.size())
+      rows.resize(static_cast<std::size_t>(r.device) + 1);
+    auto& row = rows[static_cast<std::size_t>(r.device)];
+    row.device = r.device;
+    if (row.name.empty()) row.name = r.name;
+    row.problems.insert(row.problems.end(), r.problems.begin(),
+                        r.problems.end());
+    row.tally += r.tally;
+    row.dp_gflop += r.dp_gflop;
+    row.kernel_ms += r.kernel_ms;
+    row.wall_ms += r.wall_ms;
+    tally += r.tally;
+    dp_gflop_total += r.dp_gflop;
+    kernel_ms += r.kernel_ms;
+    if (row.wall_ms > makespan_ms) makespan_ms = row.wall_ms;
+  }
+
+  // Folds one adaptive-ladder rung into the per-rung escalation rows
+  // (matched by target precision, created in first-seen order).  Raw op
+  // COUNTS are merged; dp_gflop is converted per rung BEFORE this call —
+  // see the BatchRungRow comment.
+  void absorb_rung(const RungStats& s) {
+    BatchRungRow* row = nullptr;
+    for (auto& r : rungs)
+      if (r.precision == s.precision) {
+        row = &r;
+        break;
+      }
+    if (row == nullptr) {
+      rungs.push_back(BatchRungRow{});
+      row = &rungs.back();
+      row->precision = s.precision;
+    }
+    ++row->problems;
+    if (s.refactorized) ++row->refactorizations;
+    if (s.accepted) ++row->accepted;
+    row->refine_iterations += s.refine_iterations;
+    row->tally += s.analytic;
+    row->dp_gflop += s.dp_gflop();
+    row->kernel_ms += s.kernel_ms;
   }
 
   double dp_gflop() const noexcept { return dp_gflop_total; }

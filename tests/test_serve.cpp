@@ -1,0 +1,508 @@
+// The solver service (serve/): matrix fingerprinting, the LRU factor
+// cache, warm-path limb-identity against the cold pipeline over the
+// conformance sweep, admission control, fair-share scheduling, exact
+// tally conservation across the daemon, and the release-mode validation
+// promotions of this layer (thrown std::invalid_argument — these tests
+// run under the default Release build, so they pin NDEBUG survival).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blas/generate.hpp"
+#include "mdlsq.hpp"
+#include "path/batched_tracker.hpp"
+#include "support/conformance.hpp"
+#include "support/test_support.hpp"
+
+using namespace mdlsq;
+using test_support::shape_sweep;
+
+namespace {
+
+template <class T>
+bool bitwise_equal(const blas::Vector<T>& a, const blas::Vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (int l = 0; l < blas::scalar_traits<T>::limbs; ++l)
+      if (a[i].limb(l) != b[i].limb(l)) return false;
+  return true;
+}
+
+template <int NH>
+serve::Request<NH> lsq_request(blas::Matrix<md::mdreal<NH>> a,
+                               blas::Vector<md::mdreal<NH>> b, int tile,
+                               std::string tenant = "default") {
+  serve::Request<NH> req;
+  req.tenant = std::move(tenant);
+  req.job = serve::LsqJob<NH>{std::move(a), std::move(b), tile};
+  return req;
+}
+
+template <int NH>
+std::pair<blas::Matrix<md::mdreal<NH>>, blas::Vector<md::mdreal<NH>>>
+random_problem(int m, int c, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  auto a = blas::random_matrix<md::mdreal<NH>>(m, c, gen);
+  auto b = blas::random_vector<md::mdreal<NH>>(m, gen);
+  return {std::move(a), std::move(b)};
+}
+
+// Spin until every queued job has been handed to a worker.  The admission
+// and fairness tests submit a long job first and reason about the QUEUE
+// behind it; without this barrier a heavily loaded host can delay the
+// worker's wakeup past the follow-up submits, and the first job would
+// still be counted against the queue limit.
+template <int NH>
+void wait_until_dispatched(const serve::SolverService<NH>& svc) {
+  while (svc.stats().queued > 0) std::this_thread::yield();
+}
+
+}  // namespace
+
+// --- fingerprinting ---------------------------------------------------------
+
+TEST(Fingerprint, IdenticalValuesAtDifferentLimbCountsDoNotCollide) {
+  // The same double values, held at 2 vs 4 limbs: the limb count is part
+  // of the hash, so narrowing or widening a matrix can never alias a
+  // cached factor of the wrong rung.
+  std::mt19937_64 gen(0x5e41);
+  blas::Matrix<md::dd_real> a2(6, 4);
+  blas::Matrix<md::qd_real> a4(6, 4);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 4; ++j) {
+      const double d = dist(gen);
+      a2(i, j) = md::dd_real(d);
+      a4(i, j) = md::qd_real(d);
+    }
+  EXPECT_NE(serve::fingerprint(a2), serve::fingerprint(a4));
+}
+
+TEST(Fingerprint, AnySingleLimbPerturbationChangesTheHash) {
+  std::mt19937_64 gen(0x5e42);
+  auto a = blas::random_matrix<md::qd_real>(5, 3, gen);
+  const std::uint64_t fp = serve::fingerprint(a);
+  EXPECT_EQ(fp, serve::fingerprint(a)) << "fingerprint must be a pure hash";
+
+  for (int l = 0; l < 4; ++l) {
+    auto p = a;
+    auto v = p(2, 1);
+    v.set_limb(l, v.limb(l) == 0.0 ? 1e-40 : v.limb(l) * (1 + 0x1p-50));
+    p(2, 1) = v;
+    EXPECT_NE(fp, serve::fingerprint(p)) << "perturbed limb " << l;
+  }
+}
+
+TEST(Fingerprint, ShapeIsPartOfTheHash) {
+  // The same element bits reshaped must not collide (a 4x2 and a 2x4
+  // view of one buffer are different operators).
+  blas::Matrix<md::dd_real> tall(4, 2);
+  blas::Matrix<md::dd_real> wide(2, 4);
+  int k = 0;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 2; ++j) tall(i, j) = md::dd_real(++k);
+  k = 0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 4; ++j) wide(i, j) = md::dd_real(++k);
+  EXPECT_NE(serve::fingerprint(tall), serve::fingerprint(wide));
+}
+
+// --- factor cache -----------------------------------------------------------
+
+TEST(FactorCache, CountsHitsMissesAndPromotesOnUse) {
+  serve::FactorCache cache(1 << 20);
+  const serve::FactorKey k1{0x11, 2, serve::FactorKind::qr};
+  const serve::FactorKey k2{0x22, 2, serve::FactorKind::qr};
+
+  EXPECT_EQ(cache.find<int>(k1), nullptr);
+  cache.insert(k1, std::make_shared<const int>(7), 100);
+  cache.insert(k2, std::make_shared<const int>(9), 100);
+  auto hit = cache.find<int>(k1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 7);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.insertions, 2);
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_EQ(s.bytes, 200);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(FactorCache, ByteBudgetEvictsLeastRecentlyUsed) {
+  serve::FactorCache cache(250);
+  const serve::FactorKey a{1, 2, serve::FactorKind::qr};
+  const serve::FactorKey b{2, 2, serve::FactorKind::qr};
+  const serve::FactorKey c{3, 2, serve::FactorKind::qr};
+  cache.insert(a, std::make_shared<const int>(1), 100);
+  cache.insert(b, std::make_shared<const int>(2), 100);
+  ASSERT_NE(cache.find<int>(a), nullptr);  // promote a over b
+  cache.insert(c, std::make_shared<const int>(3), 100);  // evicts b
+
+  EXPECT_NE(cache.find<int>(a), nullptr);
+  EXPECT_EQ(cache.find<int>(b), nullptr);
+  EXPECT_NE(cache.find<int>(c), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_LE(s.bytes, 250);
+}
+
+TEST(FactorCache, EntryLargerThanTheBudgetIsNeverRetained) {
+  serve::FactorCache cache(50);
+  cache.insert(serve::FactorKey{1, 2, serve::FactorKind::qr},
+               std::make_shared<const int>(1), 100);
+  EXPECT_EQ(cache.find<int>(serve::FactorKey{1, 2, serve::FactorKind::qr}),
+            nullptr);
+  EXPECT_EQ(cache.stats().bytes, 0);
+}
+
+TEST(FactorCache, KindAndTypeMismatchesAreMisses) {
+  serve::FactorCache cache(1 << 20);
+  const serve::FactorKey qr{0x7, 2, serve::FactorKind::qr};
+  const serve::FactorKey tp{0x7, 2, serve::FactorKind::toeplitz};
+  cache.insert(qr, std::make_shared<const int>(1), 8);
+  EXPECT_EQ(cache.find<int>(tp), nullptr) << "kind is part of the key";
+  EXPECT_EQ(cache.find<double>(qr), nullptr)
+      << "an entry of another type must not be handed back";
+  EXPECT_NE(cache.find<int>(qr), nullptr);
+}
+
+// --- warm path: limb-identity over the conformance sweep --------------------
+
+template <class T>
+void check_warm_equals_cold(const test_support::ShapeCase& c) {
+  SCOPED_TRACE("serve " + c.label());
+  constexpr int NH = blas::scalar_traits<T>::limbs;
+  std::mt19937_64 gen(c.seed);
+  auto a = blas::random_matrix<T>(c.rows, c.cols, gen);
+  auto b = blas::random_vector<T>(c.rows, gen);
+
+  serve::SolverService<NH> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 1));
+  auto cold = svc.submit(lsq_request<NH>(a, b, c.tile)).result.get();
+  auto warm = svc.submit(lsq_request<NH>(a, b, c.tile)).result.get();
+
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_TRUE(bitwise_equal(cold.x, warm.x))
+      << "cache-hit solve must be limb-identical to the cold solve";
+
+  // The cold response agrees bitwise with the one-shot library solve.
+  auto dev = test_support::make_dev<T>(device::ExecMode::functional);
+  auto one = core::least_squares(dev, a, b, c.tile);
+  EXPECT_TRUE(bitwise_equal(cold.x, one.x));
+
+  // measured == analytic on both paths, and the warm schedule (a strict
+  // subset of the cold one) is modeled strictly cheaper.
+  EXPECT_EQ(cold.analytic, cold.measured);
+  EXPECT_EQ(warm.analytic, warm.measured);
+  EXPECT_LT(warm.wall_ms, cold.wall_ms);
+  EXPECT_LT(warm.kernel_ms, cold.kernel_ms);
+
+  const auto cs = svc.cache_stats();
+  EXPECT_EQ(cs.hits, 1);
+  EXPECT_EQ(cs.misses, 1);
+}
+
+TEST(ServeWarmPath, SweepDoubleDouble) {
+  for (const auto& c : shape_sweep(0x5eb1, 4, 8, 3, 12))
+    check_warm_equals_cold<md::dd_real>(c);
+}
+TEST(ServeWarmPath, SweepQuadDouble) {
+  for (const auto& c : shape_sweep(0x5eb2, 3, 8, 2, 8))
+    check_warm_equals_cold<md::qd_real>(c);
+}
+TEST(ServeWarmPath, SweepOctoDouble) {
+  for (const auto& c : shape_sweep(0x5eb3, 2, 6, 2, 6))
+    check_warm_equals_cold<md::od_real>(c);
+}
+
+TEST(ServeWarmPath, CacheDisabledNeverHits) {
+  auto [a, b] = random_problem<2>(24, 8, 0xd15a);
+  serve::ServiceOptions opt;
+  opt.cache_bytes = 0;
+  serve::SolverService<2> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 1), opt);
+  auto r1 = svc.submit(lsq_request<2>(a, b, 8)).result.get();
+  auto r2 = svc.submit(lsq_request<2>(a, b, 8)).result.get();
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_TRUE(bitwise_equal(r1.x, r2.x));
+  EXPECT_EQ(svc.cache_stats().hits + svc.cache_stats().misses, 0);
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(ServeAdmission, QueueDepthLimitRejectsWithReason) {
+  // One worker, queue limit 1: J0 dispatches, J1 waits, J2 must bounce.
+  // J0/J1 are sized so they are still in flight when J2 arrives.
+  auto [a, b] = random_problem<4>(96, 48, 0xadc1);
+  serve::ServiceOptions opt;
+  opt.queue_limit = 1;
+  serve::SolverService<4> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 1), opt);
+
+  auto t0 = svc.submit(lsq_request<4>(a, b, 16));
+  wait_until_dispatched(svc);  // J0 runs; the limit now gates the queue
+  auto t1 = svc.submit(lsq_request<4>(a, b, 16));
+  auto t2 = svc.submit(lsq_request<4>(a, b, 16));
+
+  EXPECT_TRUE(t0.accepted);
+  EXPECT_TRUE(t1.accepted);
+  ASSERT_FALSE(t2.accepted);
+  EXPECT_NE(t2.reject_reason.find("queue depth"), std::string::npos);
+
+  // Ids are stable and monotone across accept AND reject.
+  EXPECT_EQ(t1.id, t0.id + 1);
+  EXPECT_EQ(t2.id, t1.id + 1);
+
+  // The rejected future is already resolved, with the reason echoed.
+  auto r2 = t2.result.get();
+  EXPECT_EQ(r2.status, serve::JobStatus::rejected);
+  EXPECT_EQ(r2.reject_reason, t2.reject_reason);
+  EXPECT_GT(r2.modeled_cost_ms, 0.0);
+  EXPECT_EQ(r2.x.size(), 0u);
+
+  EXPECT_EQ(t0.result.get().status, serve::JobStatus::done);
+  EXPECT_EQ(t1.result.get().status, serve::JobStatus::done);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.accepted, 2);
+  EXPECT_EQ(s.rejected, 1);
+}
+
+TEST(ServeAdmission, ModeledBacklogLimitRejectsWithReason) {
+  auto [a, b] = random_problem<4>(96, 48, 0xadc2);
+  // Price one job to set a backlog limit that admits exactly one queued
+  // job: machine-independent because the limit is modeled time.
+  const double one =
+      core::adaptive_least_squares_dry<md::qd_real>(device::volta_v100(), 96,
+                                                    48, {})
+          .wall_ms();
+  ASSERT_GT(one, 0.0);
+
+  serve::ServiceOptions opt;
+  opt.backlog_limit_ms = 1.5 * one;
+  serve::SolverService<4> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 1), opt);
+
+  serve::Request<4> req;
+  req.job = serve::AdaptiveLsqJob<4>{a, b, {}};
+  auto t0 = svc.submit(req);  // dispatches: backlog drains at dispatch
+  wait_until_dispatched(svc);
+  auto t1 = svc.submit(req);  // queued: backlog = one
+  auto t2 = svc.submit(req);  // one + one > 1.5 * one -> reject
+  EXPECT_TRUE(t0.accepted);
+  EXPECT_TRUE(t1.accepted);
+  ASSERT_FALSE(t2.accepted);
+  EXPECT_NE(t2.reject_reason.find("backlog"), std::string::npos);
+  svc.drain();
+}
+
+// --- fair-share scheduling --------------------------------------------------
+
+TEST(ServeFairShare, CheapTenantIsNotStarvedByAnExpensiveOne) {
+  // One worker.  While it chews a warmup job, tenant "heavy" queues two
+  // expensive solves and tenant "light" two cheap ones.  Fair share by
+  // modeled cost must serve both light jobs before heavy's second: after
+  // heavy's first job, heavy's dispatched cost exceeds light's until
+  // light has consumed comparably.
+  auto [big_a, big_b] = random_problem<4>(96, 48, 0xfa1);
+  auto [small_a, small_b] = random_problem<4>(16, 8, 0xfa2);
+
+  std::vector<std::uint64_t> order;
+  std::mutex order_mu;
+  serve::ServiceOptions opt;
+  opt.row_sink = [&](const util::BatchDeviceRow& row) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(static_cast<std::uint64_t>(row.problems.at(0)));
+  };
+  serve::SolverService<4> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 1), opt);
+
+  auto warmup = svc.submit(lsq_request<4>(big_a, big_b, 16, "warmup"));
+  wait_until_dispatched(svc);  // the tenants now queue behind the warmup
+  auto h1 = svc.submit(lsq_request<4>(big_a, big_b, 16, "heavy"));
+  auto h2 = svc.submit(lsq_request<4>(big_a, big_b, 16, "heavy"));
+  auto l1 = svc.submit(lsq_request<4>(small_a, small_b, 8, "light"));
+  auto l2 = svc.submit(lsq_request<4>(small_a, small_b, 8, "light"));
+  ASSERT_TRUE(warmup.accepted && h1.accepted && h2.accepted && l1.accepted &&
+              l2.accepted);
+  svc.drain();
+
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](std::uint64_t id) {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] == id) return i;
+    return order.size();
+  };
+  EXPECT_LT(pos(l1.id), pos(h2.id))
+      << "light tenant must be served before heavy's second expensive job";
+  EXPECT_LT(pos(l2.id), pos(h2.id));
+}
+
+// --- tally conservation across the daemon -----------------------------------
+
+TEST(ServeConservation, MixedWorkloadTalliesAreExactAndConserved) {
+  auto [a, b] = random_problem<4>(32, 16, 0xc0a5);
+  auto h = path::rational_path_homotopy<md::qd_real>(8, 2.0, 0xc0a6);
+  path::TrackOptions topt;
+  topt.tile = 4;
+  topt.max_steps = 64;
+
+  serve::SolverService<4> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 2));
+  std::vector<std::future<serve::Response<4>>> futures;
+  for (int rep = 0; rep < 3; ++rep) {
+    futures.push_back(
+        svc.submit(lsq_request<4>(a, b, 16, "t" + std::to_string(rep)))
+            .result);
+    serve::Request<4> ar;
+    ar.tenant = "adaptive";
+    ar.job = serve::AdaptiveLsqJob<4>{a, b, {}};
+    futures.push_back(svc.submit(ar).result);
+  }
+  serve::Request<4> tr;
+  tr.tenant = "tracker";
+  tr.job = serve::TrackJob<4>{h, topt};
+  futures.push_back(svc.submit(tr).result);
+
+  md::OpTally analytic_sum, measured_sum;
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_EQ(r.status, serve::JobStatus::done);
+    EXPECT_EQ(r.analytic, r.measured) << "job " << r.id;
+    analytic_sum += r.analytic;
+    measured_sum += r.measured;
+  }
+  svc.drain();
+
+  // Conservation: per-job sums == service stats == aggregate report.
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, static_cast<std::int64_t>(futures.size()));
+  EXPECT_EQ(s.analytic, analytic_sum);
+  EXPECT_EQ(s.measured, measured_sum);
+  EXPECT_EQ(s.analytic, s.measured);
+
+  const auto rep = svc.report();
+  EXPECT_EQ(rep.tally, analytic_sum);
+  EXPECT_EQ(rep.problem_count(), static_cast<int>(futures.size()));
+  EXPECT_FALSE(rep.rungs.empty()) << "adaptive jobs must aggregate rungs";
+  EXPECT_EQ(rep.paths.size(), 1u) << "the track job must contribute a path row";
+  EXPECT_GT(rep.makespan_ms, 0.0);
+}
+
+// --- exec-options satellite: batch-level rungs reach the nested ladders -----
+
+TEST(ExecOptions, BatchLevelRungsConfigureTheAdaptivePipeline) {
+  static_assert(std::is_base_of_v<core::ExecOptions, core::AdaptiveOptions>);
+  static_assert(std::is_base_of_v<core::ExecOptions, core::BatchedLsqOptions>);
+  static_assert(std::is_base_of_v<core::ExecOptions, path::TrackOptions>);
+  static_assert(
+      std::is_base_of_v<core::ExecOptions, path::BatchedTrackOptions>);
+
+  auto [a, b] = random_problem<4>(24, 8, 0xe0c5);
+  std::vector<core::BatchProblem<md::qd_real>> problems;
+  problems.push_back(
+      core::BatchProblem<md::qd_real>::functional(a, b));
+  const auto pool = core::DevicePool::homogeneous(device::volta_v100(), 1);
+
+  core::BatchedLsqOptions nested;
+  nested.pipeline = core::BatchPipeline::adaptive;
+  nested.adaptive.rungs = {2, 3, 4};
+  const auto want = core::batched_least_squares<md::qd_real>(pool, problems,
+                                                             nested);
+
+  core::BatchedLsqOptions batch;
+  batch.pipeline = core::BatchPipeline::adaptive;
+  batch.rungs = {2, 3, 4};  // batch-level override, one assignment
+  const auto got = core::batched_least_squares<md::qd_real>(pool, problems,
+                                                            batch);
+  ASSERT_EQ(want.problems.size(), got.problems.size());
+  EXPECT_TRUE(bitwise_equal(want.problems[0].x, got.problems[0].x));
+  EXPECT_EQ(want.problems[0].rungs.size(), got.problems[0].rungs.size());
+}
+
+// --- release-mode validation promotions -------------------------------------
+
+TEST(ServeValidation, MalformedRequestsThrowFromSubmit) {
+  serve::SolverService<2> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 1));
+  auto [a, b] = random_problem<2>(16, 8, 0xbad1);
+
+  auto bad_rhs = b;
+  bad_rhs = blas::Vector<md::dd_real>(15);
+  EXPECT_THROW(svc.submit(lsq_request<2>(a, bad_rhs, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(svc.submit(lsq_request<2>(a, b, 3)), std::invalid_argument)
+      << "tile must divide cols";
+  EXPECT_THROW(svc.submit(lsq_request<2>(a, b, 0)), std::invalid_argument);
+
+  EXPECT_EQ(svc.stats().submitted, 0) << "misuse must not consume job ids";
+}
+
+TEST(ServeValidation, ServiceAndCacheConstructionValidate) {
+  EXPECT_THROW(serve::SolverService<2>(core::DevicePool{}),
+               std::invalid_argument);
+  serve::ServiceOptions bad;
+  bad.queue_limit = 0;
+  EXPECT_THROW(
+      serve::SolverService<2>(
+          core::DevicePool::homogeneous(device::volta_v100(), 1), bad),
+      std::invalid_argument);
+  EXPECT_THROW(serve::FactorCache(-1), std::invalid_argument);
+  serve::FactorCache cache(100);
+  EXPECT_THROW(cache.insert(serve::FactorKey{}, std::shared_ptr<const int>(),
+                            8),
+               std::invalid_argument);
+  EXPECT_THROW(cache.insert(serve::FactorKey{}, std::make_shared<const int>(1),
+                            -1),
+               std::invalid_argument);
+}
+
+TEST(ServeValidation, BatchReportAbsorbValidatesInRelease) {
+  util::BatchReport rep;
+  util::BatchDeviceRow row;
+  row.device = -1;
+  EXPECT_THROW(rep.absorb(row), std::invalid_argument);
+  row.device = 0;
+  row.kernel_ms = -1.0;
+  EXPECT_THROW(rep.absorb(row), std::invalid_argument);
+  row.kernel_ms = 1.0;
+  row.wall_ms = 2.0;
+  row.problems = {0};
+  rep.absorb(row);
+  rep.absorb(row);
+  EXPECT_EQ(rep.problem_count(), 2);
+  EXPECT_DOUBLE_EQ(rep.kernel_ms, 2.0);
+  EXPECT_DOUBLE_EQ(rep.makespan_ms, 4.0);
+}
+
+TEST(ServeValidation, BatchedTrackValidatesDryDimsInRelease) {
+  const auto pool = core::DevicePool::homogeneous(device::volta_v100(), 1);
+  path::BatchedTrackOptions opt;
+  opt.mode = device::ExecMode::dry_run;
+
+  std::vector<path::TrackProblem<2>> zero_dim;
+  zero_dim.push_back(path::TrackProblem<2>::dry(0, 1, 1));
+  EXPECT_THROW(path::batched_track<2>(pool, zero_dim, opt),
+               std::invalid_argument);
+
+  std::vector<path::TrackProblem<2>> no_terms;
+  no_terms.push_back(path::TrackProblem<2>::dry(4, 0, 1));
+  EXPECT_THROW(path::batched_track<2>(pool, no_terms, opt),
+               std::invalid_argument);
+
+  std::vector<path::TrackProblem<2>> good;
+  good.push_back(path::TrackProblem<2>::dry(4, 2, 1));
+  path::BatchedTrackOptions bad_threads = opt;
+  bad_threads.threads = -1;
+  EXPECT_THROW(path::batched_track<2>(pool, good, bad_threads),
+               std::invalid_argument);
+  EXPECT_NO_THROW(path::batched_track<2>(pool, good, opt));
+}

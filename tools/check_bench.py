@@ -50,6 +50,15 @@ What is gated, and why (DESIGN.md §6):
   the ISA, so coverage of, say, an avx512 case is only enforced once it
   is committed to the baseline — keep the baseline to cases the CI
   runner fleet supports.
+* cache_hit_speedup (cold-pipeline wall / warm-cache wall, the servehit
+  cases of bench_serve) — gated relatively against the baseline like the
+  other wall ratios (the field doubles as the case's "speedup"), and
+  --min-cache-hit-speedup (off by default) is an ABSOLUTE floor over
+  every new case carrying the field whose cold wall clears --min-wall-ms:
+  a factor-cache hit replays strictly fewer launches than the cold
+  pipeline, so serving warm must beat cold outright on any host —
+  a cache that stops paying for itself is a regression even where the
+  baseline ratios do not apply.
 * bit_identical / tally_conserved — must be true in the new run
   (the bench binary also enforces this; the gate double-checks the
   artifact CI archives).
@@ -116,6 +125,10 @@ def main():
     ap.add_argument("--min-simd-speedup", type=float, default=0.0,
                     help="absolute floor on the forced-ISA vs forced-scalar "
                          "ratio of simd cases whose scalar wall clears "
+                         "--min-wall-ms (0 = disabled)")
+    ap.add_argument("--min-cache-hit-speedup", type=float, default=0.0,
+                    help="absolute floor on the cold vs warm-cache ratio of "
+                         "servehit cases whose cold wall clears "
                          "--min-wall-ms (0 = disabled)")
     ap.add_argument("--min-staged-speedup", type=float, default=1.0,
                     help="absolute floor on the staged-resident vs "
@@ -234,6 +247,23 @@ def main():
                     "/".join(str(k) for k in key) +
                     f": simd speedup {n['simd_speedup']:.2f}x below "
                     f"the absolute floor {args.min_simd_speedup:.2f}x")
+
+    # And the absolute cache floor: every new case carrying a
+    # cache_hit_speedup (the warm-vs-cold factor-cache replays of
+    # bench_serve) must clear it, baselined or not — a warm solve replays
+    # a strict subset of the cold launches, so losing to cold is a
+    # regression on any host.
+    if args.min_cache_hit_speedup > 0.0:
+        for key in sorted(new):
+            n = new[key]
+            if ("cache_hit_speedup" in n
+                    and n.get("seq_wall_ms", 0.0) >= args.min_wall_ms
+                    and n["cache_hit_speedup"] < args.min_cache_hit_speedup):
+                failures.append(
+                    "/".join(str(k) for k in key) +
+                    f": cache-hit speedup {n['cache_hit_speedup']:.2f}x "
+                    f"below the absolute floor "
+                    f"{args.min_cache_hit_speedup:.2f}x")
 
     for key in sorted(set(new) - set(base)):
         notes.append("/".join(str(k) for k in key) +

@@ -105,6 +105,38 @@ class CheckBenchTest(unittest.TestCase):
             qr_case(kind="simd", isa="avx2", simd_speedup=0.5)])
         self.assertEqual(self.run_gate(new, base), 0)
 
+    def test_cache_floor_gates_new_cases(self):
+        # The warm-cache floor covers every new case carrying the field,
+        # baselined or not — a fresh servehit case must not ship with the
+        # warm path losing to cold.
+        base = self.write_doc("base.json", [qr_case()])
+        below = self.write_doc("below.json", [
+            qr_case(),
+            qr_case(kind="servehit", speedup=1.1, cache_hit_speedup=1.1)])
+        self.assertEqual(
+            self.run_gate(below, base, "--min-cache-hit-speedup", "1.3"), 1)
+        above = self.write_doc("above.json", [
+            qr_case(),
+            qr_case(kind="servehit", speedup=2.5, cache_hit_speedup=2.5)])
+        self.assertEqual(
+            self.run_gate(above, base, "--min-cache-hit-speedup", "1.3"), 0)
+
+    def test_cache_floor_respects_min_wall(self):
+        base = self.write_doc("base.json", [qr_case()])
+        new = self.write_doc("new.json", [
+            qr_case(),
+            qr_case(kind="servehit", cache_hit_speedup=0.5,
+                    seq_wall_ms=5.0)])
+        self.assertEqual(
+            self.run_gate(new, base, "--min-cache-hit-speedup", "1.3"), 0)
+
+    def test_cache_floor_off_by_default(self):
+        base = self.write_doc("base.json", [qr_case()])
+        new = self.write_doc("new.json", [
+            qr_case(),
+            qr_case(kind="servehit", cache_hit_speedup=0.5)])
+        self.assertEqual(self.run_gate(new, base), 0)
+
     def test_non_bit_identical_fails(self):
         new = self.write_doc("new.json", [qr_case(bit_identical=False)])
         base = self.write_doc("base.json", [qr_case()])

@@ -15,10 +15,15 @@
 // the same path set: bit_identical there means the batched results are
 // limb-identical to the sequential single-path solves, the batching
 // guarantee of DESIGN.md §2/§7.
+//
+// `--report r.json` additionally dumps the width-1 batched run's
+// aggregate util::BatchReport as machine-readable JSON (DESIGN.md §12)
+// — the same totals the human table prints, for downstream tooling.
 #include <cstdio>
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -92,7 +97,8 @@ CaseResult track_case(int m, int order, int tile, int width) {
   return r;
 }
 
-CaseResult batch_case(int m, int order, int tile, int paths) {
+CaseResult batch_case(int m, int order, int tile, int paths,
+                      const std::string& report_path) {
   path::BatchedTrackOptions opt;
   opt.track.tile = tile;
   opt.track.order = order;
@@ -111,6 +117,16 @@ CaseResult batch_case(int m, int order, int tile, int paths) {
   const double t0 = now_ms();
   auto one = path::batched_track<2>(pool1, batch, opt);
   const double t1 = now_ms();
+
+  if (!report_path.empty()) {
+    if (std::FILE* rf = std::fopen(report_path.c_str(), "w")) {
+      one.report.write_json(rf);
+      std::fclose(rf);
+      std::printf("wrote %s\n", report_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+    }
+  }
 
   auto pool2 = core::DevicePool::homogeneous(device::volta_v100(), 2);
   const double t2 = now_ms();
@@ -135,14 +151,27 @@ CaseResult batch_case(int m, int order, int tile, int paths) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_path.json";
-  const int width = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::string out_path = "BENCH_path.json";
+  std::string report_path;
+  int width = 4, positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (positional == 0) {
+      out_path = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      width = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
 
   std::vector<CaseResult> cases;
   cases.push_back(track_case<2>(48, 10, 8, width));
   cases.push_back(track_case<4>(32, 10, 8, width));
   cases.push_back(track_case<8>(24, 8, 8, width));
-  cases.push_back(batch_case(24, 8, 8, 6));
+  cases.push_back(batch_case(24, 8, 8, 6, report_path));
 
   bench::header("power-series path tracking (V100 model)");
   std::printf("threads: %d (hardware_concurrency %u)\n\n", width,
@@ -157,9 +186,9 @@ int main(int argc, char** argv) {
                c.identical && c.tally_ok ? "yes" : "NO"});
   t.print();
 
-  std::FILE* f = std::fopen(out_path, "w");
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
   std::fprintf(f,
@@ -182,7 +211,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);
-  std::printf("\nwrote %s\n", out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
 
   // Correctness gate: bit-identity and tally conservation are hard
   // failures; throughput is gated by tools/check_bench.py in CI.

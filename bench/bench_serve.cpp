@@ -26,6 +26,13 @@
 //     latency as informational fields; every response is checked
 //     limb-identical to a direct sequential driver call and the service
 //     tallies must conserve exactly.
+//
+// Observability artifacts (DESIGN.md §12), all from the MIX case only —
+// the gated servehit walls always run with tracing off:
+//   --trace t.json    Chrome trace_event spans of the mix replay
+//   --metrics m.json  the service's MetricsRegistry (admission counters,
+//                     queue-wait percentiles, cache traffic)
+//   --report r.json   the aggregate util::BatchReport of the mix daemon
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -33,8 +40,10 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <random>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -152,7 +161,9 @@ CaseResult serve_hit_case(int rows, int cols, int tile, int reps) {
 
 // --- servemix ---------------------------------------------------------------
 
-CaseResult serve_mix_case() {
+CaseResult serve_mix_case(const std::string& trace_path,
+                          const std::string& metrics_path,
+                          const std::string& report_path) {
   constexpr int NH = 2;
   using T = md::mdreal<NH>;
   const device::DeviceSpec& spec = device::volta_v100();
@@ -207,8 +218,15 @@ CaseResult serve_mix_case() {
   // see the header comment), open-loop: seeded 0-2 ms arrival gaps.
   std::mutex done_mu;
   std::map<std::uint64_t, double> done_at;
+  // The mix is the observability showcase: a metrics registry rides along
+  // always, and --trace installs a session over the replay only (the
+  // gated servehit cases above never see one).
+  obs::MetricsRegistry metrics;
+  std::optional<obs::TraceSession> session;
+  if (!trace_path.empty()) session.emplace(obs::TraceOptions{1 << 15});
   serve::ServiceOptions opt;
   opt.queue_limit = 256;  // admission off: every job must complete
+  opt.metrics = &metrics;
   opt.row_sink = [&](const util::BatchDeviceRow& row) {
     std::lock_guard<std::mutex> lock(done_mu);
     done_at[static_cast<std::uint64_t>(row.problems.at(0))] = bench::now_ms();
@@ -256,6 +274,15 @@ CaseResult serve_mix_case() {
   }
   svc.drain();
   const double wall = bench::now_ms() - t0;
+
+  // Snapshot before the reference solves below, so the trace holds the
+  // daemon's replay only; resetting uninstalls the session, keeping the
+  // reference runs on the untraced one-branch path.
+  if (session) {
+    obs::write_chrome_trace(trace_path, session->snapshot());
+    session.reset();
+    std::printf("wrote trace %s\n", trace_path.c_str());
+  }
 
   // Every daemon response must be limb-identical to a direct sequential
   // driver call — warm or cold, whatever tenant or arrival order.
@@ -320,20 +347,47 @@ CaseResult serve_mix_case() {
   cr.p99_ms = pct(99);
   cr.accepted = stats.accepted;
   cr.rejected = stats.rejected;
+
+  if (!metrics_path.empty()) {
+    obs::write_metrics_json(metrics_path, metrics);
+    std::printf("wrote metrics %s\n", metrics_path.c_str());
+  }
+  if (!report_path.empty()) {
+    std::FILE* rf = std::fopen(report_path.c_str(), "w");
+    if (rf != nullptr) {
+      svc.report().write_json(rf);
+      std::fclose(rf);
+      std::printf("wrote report %s\n", report_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+    }
+  }
   return cr;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  std::string out_path = "BENCH_serve.json";
+  std::string trace_path, metrics_path, report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (arg == "--metrics" && i + 1 < argc)
+      metrics_path = argv[++i];
+    else if (arg == "--report" && i + 1 < argc)
+      report_path = argv[++i];
+    else
+      out_path = argv[i];
+  }
 
   std::vector<CaseResult> cases;
   // The gated warm-vs-cold cases, sized so the cold wall clears the
   // gate's --min-wall-ms noise floor with margin.
   cases.push_back(serve_hit_case<2>(96, 64, 16, 6));
   cases.push_back(serve_hit_case<4>(80, 48, 16, 4));
-  cases.push_back(serve_mix_case());
+  cases.push_back(serve_mix_case(trace_path, metrics_path, report_path));
 
   bench::header("solver service: factor-cache replay (V100 model)");
   util::Table t({"kind", "prec", "rows", "cols", "modeled ms", "cold wall ms",
@@ -354,9 +408,9 @@ int main(int argc, char** argv) {
           c.solves_per_sec, c.paths_per_sec, c.cache_hit_rate, c.p50_ms,
           c.p95_ms, c.p99_ms, c.accepted, c.rejected);
 
-  std::FILE* f = std::fopen(out_path, "w");
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
   std::fprintf(f,
@@ -389,7 +443,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);
-  std::printf("\nwrote %s\n", out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
 
   // The binary's own sanity gate, ahead of check_bench.py: warm results
   // must be limb-identical to cold and every tally exact.

@@ -8,6 +8,15 @@
 // tracks: tools/check_bench.py gates every push against
 // bench/baseline.json.
 //
+// `--trace out.json` additionally records one TraceSession over a
+// post-cases sampler (a small adaptive ladder plus a short service
+// burst, so every span category appears) and writes it as Chrome
+// trace_event JSON (DESIGN.md §12) — the artifact CI validates with
+// tools/trace_summarize.py.  The timed cases above always run WITHOUT a
+// session installed; the "trace" sanity case separately pins that a live
+// session observes without perturbing (bit-identity, exact tallies,
+// identical modeled times).
+//
 // Two kinds of numbers per case (DESIGN.md §5-§6):
 //   * modeled_kernel_ms — the device model's price of the launch
 //     schedule.  Deterministic and machine-independent, so the CI gate
@@ -20,15 +29,22 @@
 // limb-identical to sequential and every tally measured == declared.
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <random>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "blas/generate.hpp"
+#include "core/adaptive_lsq.hpp"
 #include "core/least_squares.hpp"
 #include "core/refinement.hpp"
 #include "md/simd/dispatch.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "path/generate.hpp"
+#include "serve/service.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace mdlsq;
@@ -37,7 +53,7 @@ using bench::now_ms;
 namespace {
 
 struct CaseResult {
-  std::string kind;       // "qr" | "backsub" | "lsq" | "layout" | "simd"
+  std::string kind;  // "qr" | "backsub" | "lsq" | "layout" | "simd" | "trace"
   std::string precision;  // Table 1 row name
   int rows = 0, cols = 0, tile = 0;
   double modeled_kernel_ms = 0;
@@ -276,11 +292,105 @@ CaseResult simd_case(int dim, int tile, md::simd::Isa isa) {
   return r;
 }
 
+// Tracing sanity (DESIGN.md §12): the identical sequential d2 QR run
+// untraced (the one-branch disabled path every gated case above pays)
+// and again under a live TraceSession.  Tracing must be a pure observer:
+// limb-identical factors, exact tallies, and the same modeled kernel
+// time to the last bit — the span layer never touches the launch
+// schedule.  seq wall = untraced, par wall = traced; the ratio rides
+// along ungated (a new case surfaces as a note in check_bench.py).
+template <class T>
+CaseResult trace_case(int dim, int tile) {
+  std::mt19937_64 gen(0x5eed6 + dim);
+  auto a = blas::random_matrix<T>(dim, dim, gen);
+
+  auto plain = make_dev<T>();
+  const double t0 = now_ms();
+  auto fp = core::blocked_qr(plain, a, tile);
+  const double t1 = now_ms();
+
+  auto traced = make_dev<T>();
+  CaseResult r{"trace", md::name_of(plain.precision()), dim, dim, tile,
+               plain.kernel_ms(), t1 - t0, 0};
+  {
+    obs::TraceSession session;
+    const double t2 = now_ms();
+    auto ft = core::blocked_qr(traced, a, tile);
+    const double t3 = now_ms();
+    r.par_wall_ms = t3 - t2;
+    if (session.snapshot().spans.empty()) r.identical = false;
+    for (int i = 0; i < dim && r.identical; ++i)
+      for (int j = 0; j < dim; ++j)
+        if (!blas::bit_identical(fp.r(i, j), ft.r(i, j)) ||
+            !blas::bit_identical(fp.q(i, j), ft.q(i, j))) {
+          r.identical = false;
+          break;
+        }
+  }
+  r.tally_ok = tallies_exact(plain) && tallies_exact(traced) &&
+               plain.kernel_ms() == traced.kernel_ms();
+  return r;
+}
+
+// The --trace artifact: ONE session over a sampler that touches every
+// span category — an adaptive ladder (kernel/transfer/panel/ladder) and
+// a small single-worker service burst with a repeat matrix and a short
+// path track (queue/cache/service/step) — written as Chrome trace_event
+// JSON for chrome://tracing / Perfetto and tools/trace_summarize.py.
+// Runs after the timed cases, so the session never overlaps a gated
+// number.
+void write_trace_artifact(const std::string& path) {
+  obs::TraceSession session(obs::TraceOptions{1 << 15});
+  {
+    std::mt19937_64 gen(0x7aceULL);
+    auto a = blas::random_matrix<md::qd_real>(48, 16, gen);
+    auto b = blas::random_vector<md::qd_real>(48, gen);
+    core::AdaptiveOptions aopt;
+    aopt.tile = 8;
+    aopt.tol = 1e-60;  // climb past the first rung: multi-limb ladder spans
+    core::adaptive_least_squares<4>(device::volta_v100(), a, b, aopt);
+
+    serve::SolverService<2> svc(
+        core::DevicePool::homogeneous(device::volta_v100(), 1));
+    auto sa = blas::random_matrix<md::dd_real>(32, 16, gen);
+    auto sb = blas::random_vector<md::dd_real>(32, gen);
+    std::vector<std::future<serve::Response<2>>> futures;
+    for (int i = 0; i < 3; ++i) {  // one cold miss, two warm hits
+      serve::Request<2> req;
+      req.job = serve::LsqJob<2>{sa, sb, 8};
+      futures.push_back(svc.submit(std::move(req)).result);
+    }
+    path::TrackOptions topt;
+    topt.tile = 4;
+    topt.max_steps = 32;
+    serve::Request<2> tr;
+    tr.job = serve::TrackJob<2>{
+        path::rational_path_homotopy<md::dd_real>(8, 2.0, 0x7ace2ULL), topt};
+    futures.push_back(svc.submit(std::move(tr)).result);
+    for (auto& f : futures) f.get();
+  }  // the service joins its workers before the snapshot
+  obs::write_chrome_trace(path, session.snapshot());
+  std::printf("wrote trace %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_suite.json";
-  const int width = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::string out_path = "BENCH_suite.json";
+  std::string trace_path;
+  int width = 4;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (positional == 0) {
+      out_path = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      width = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
   util::ThreadPool pool(width - 1);  // the caller is the width-th lane
 
   std::vector<CaseResult> cases;
@@ -314,6 +424,10 @@ int main(int argc, char** argv) {
   for (md::simd::Isa isa : md::simd::supported_isas())
     if (isa != md::simd::Isa::scalar)
       cases.push_back(simd_case<md::dd_real>(160, 16, isa));
+  // Tracing-is-a-pure-observer sanity: untraced vs traced sequential d2
+  // QR; the binary enforces bit-identity, exact tallies and identical
+  // modeled time below, like every other case (DESIGN.md §12).
+  cases.push_back(trace_case<md::dd_real>(96, 16));
 
   bench::header("sequential vs threaded execution engine (V100 model)");
   std::printf("threads: %d (hardware_concurrency %u)\n\n", width,
@@ -328,9 +442,9 @@ int main(int argc, char** argv) {
                c.identical && c.tally_ok ? "yes" : "NO"});
   t.print();
 
-  std::FILE* f = std::fopen(out_path, "w");
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
   std::fprintf(f,
@@ -359,7 +473,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);
-  std::printf("\nwrote %s\n", out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!trace_path.empty()) write_trace_artifact(trace_path);
 
   // Correctness gate: bit-identity and tally conservation are hard
   // failures everywhere.  Speedup is recorded, not asserted — the CI gate

@@ -56,6 +56,7 @@
 #include "core/solve_options.hpp"
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
+#include "obs/trace.hpp"
 #include "util/batch_report.hpp"
 
 namespace mdlsq::core {
@@ -300,6 +301,12 @@ void run_rung(const device::DeviceSpec& spec,
   const bool refactor = st.factor_limbs == 0 || st.factors_stagnated ||
                         rate > opt.refine_rate_threshold;
 
+  // The rung is a parent span over every launch it issues; the name
+  // records the refine-vs-refactor decision and the modeled price is the
+  // rung's whole device schedule (attached after the device is drained).
+  obs::Span rung_span(refactor ? "rung refactor" : "rung refine",
+                      obs::Cat::ladder, P);
+
   auto ap = narrow_matrix<P, NH>(a);
   auto bp = narrow_vector<P, NH>(b);
 
@@ -341,6 +348,8 @@ void run_rung(const device::DeviceSpec& spec,
     rs.kernel_ms = u.kernel_ms;
     rs.wall_ms = u.wall_ms;
   }
+
+  rung_span.set_modeled_ms(rs.kernel_ms);
 
   out.final_precision = rs.precision;
   out.converged = rs.accepted;

@@ -67,6 +67,7 @@
 #include "core/tally_rules.hpp"
 #include "device/launch.hpp"
 #include "device/staged.hpp"
+#include "obs/trace.hpp"
 
 namespace mdlsq::core {
 
@@ -179,6 +180,10 @@ StagedQr<T> blocked_qr_staged_run(device::Device& dev,
   for (int k = 0; k < NT; ++k) {
     const int r0 = k * n;
     const int Lk = M - r0;
+
+    // One panel wave = one parent span over tile k's stage 1-4 launches;
+    // the child kernel spans carry the per-launch modeled prices.
+    obs::Span panel_span("qr panel", obs::Cat::panel, traits::limbs);
 
     // ---- stage 1: panel factorization, column by column ----------------
     // Each column's reflector feeds the next column's data, so the chain

@@ -34,6 +34,7 @@
 #include "device/staged.hpp"
 #include "device/timing_model.hpp"
 #include "md/op_counts.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mdlsq::device {
@@ -67,6 +68,26 @@ struct DeviceUsage {
   double kernel_ms = 0.0;
   double wall_ms = 0.0;
   double dp_flops = 0.0;
+
+  void reset() noexcept { *this = DeviceUsage{}; }
+
+  // Snapshot delta: `o` must be an EARLIER usage() of the same device, so
+  // a multi-phase driver can attribute usage per phase (take a snapshot,
+  // run the phase, subtract) instead of cumulative-only.
+  DeviceUsage& operator-=(const DeviceUsage& o) noexcept {
+    launches -= o.launches;
+    analytic -= o.analytic;
+    measured -= o.measured;
+    bytes -= o.bytes;
+    kernel_ms -= o.kernel_ms;
+    wall_ms -= o.wall_ms;
+    dp_flops -= o.dp_flops;
+    return *this;
+  }
+  friend DeviceUsage operator-(DeviceUsage a, const DeviceUsage& b) noexcept {
+    a -= b;
+    return a;
+  }
 };
 
 class Device {
@@ -103,9 +124,12 @@ class Device {
   void launch(std::string_view stage, int blocks, int threads,
               const md::OpTally& ops, std::int64_t bytes,
               const md::OpTally& serial, F&& body) {
-    StageStats& st = declare(stage, blocks, threads, ops, bytes, serial);
+    const Declared d = declare(stage, blocks, threads, ops, bytes, serial);
+    obs::Span span(stage, obs::Cat::kernel, md::limbs_of(prec_));
+    span.set_modeled_ms(d.kernel_ms);
+    span.set_bytes(bytes);
     if (mode_ == ExecMode::functional) {
-      md::ScopedTally scope(st.measured);
+      md::ScopedTally scope(d.stats->measured);
       body();
     }
   }
@@ -122,7 +146,11 @@ class Device {
   void launch_tiled(std::string_view stage, int blocks, int threads,
                     const md::OpTally& ops, std::int64_t bytes,
                     const md::OpTally& serial, int ntasks, F&& body) {
-    StageStats& st = declare(stage, blocks, threads, ops, bytes, serial);
+    const Declared d = declare(stage, blocks, threads, ops, bytes, serial);
+    obs::Span span(stage, obs::Cat::kernel, md::limbs_of(prec_));
+    span.set_modeled_ms(d.kernel_ms);
+    span.set_bytes(bytes);
+    StageStats& st = *d.stats;
     if (mode_ != ExecMode::functional) return;
     if (pool_ != nullptr && width_ > 1 && ntasks > 1) {
       std::vector<md::OpTally> per_task(static_cast<std::size_t>(ntasks));
@@ -148,31 +176,45 @@ class Device {
   // identical transfer, so dry-run walks of the same driver price the
   // same wall clock the functional walk does.
 
-  // Price one host<->device staging of rows*cols elements of T.
+  // Bytes moved by one host<->device staging of rows*cols elements of T.
   template <class T>
-  void price_staging(std::int64_t rows, std::int64_t cols) noexcept {
-    transfer(rows * cols * blas::scalar_traits<T>::doubles_per_element *
-             static_cast<std::int64_t>(sizeof(double)));
+  static constexpr std::int64_t staging_bytes(std::int64_t rows,
+                                              std::int64_t cols) noexcept {
+    return rows * cols * blas::scalar_traits<T>::doubles_per_element *
+           static_cast<std::int64_t>(sizeof(double));
+  }
+
+  // Price one host<->device staging of rows*cols elements of T.  Emits a
+  // transfer-category span like the functional stage()/unstage() wrappers
+  // do, so a dry-run walk traces the identical transfer schedule.
+  template <class T>
+  void price_staging(std::int64_t rows, std::int64_t cols) {
+    obs::Span span("staging", obs::Cat::transfer, md::limbs_of(prec_));
+    record_transfer(span, staging_bytes<T>(rows, cols));
   }
 
   template <class T>
   Staged2D<T> stage(const blas::Matrix<T>& m) {
-    price_staging<T>(m.rows(), m.cols());
+    obs::Span span("stage", obs::Cat::transfer, md::limbs_of(prec_));
+    record_transfer(span, staging_bytes<T>(m.rows(), m.cols()));
     return Staged2D<T>::from_host(m);
   }
   template <class T>
   Staged1D<T> stage(const blas::Vector<T>& v) {
-    price_staging<T>(static_cast<std::int64_t>(v.size()), 1);
+    obs::Span span("stage", obs::Cat::transfer, md::limbs_of(prec_));
+    record_transfer(span, staging_bytes<T>(static_cast<std::int64_t>(v.size()), 1));
     return Staged1D<T>::from_host(v);
   }
   template <class T>
   blas::Matrix<T> unstage(const Staged2D<T>& s) {
-    price_staging<T>(s.rows(), s.cols());
+    obs::Span span("unstage", obs::Cat::transfer, md::limbs_of(prec_));
+    record_transfer(span, staging_bytes<T>(s.rows(), s.cols()));
     return s.to_host();
   }
   template <class T>
   blas::Vector<T> unstage(const Staged1D<T>& s) {
-    price_staging<T>(s.size(), 1);
+    obs::Span span("unstage", obs::Cat::transfer, md::limbs_of(prec_));
+    record_transfer(span, staging_bytes<T>(s.size(), 1));
     return s.to_host();
   }
 
@@ -225,23 +267,49 @@ class Device {
             kernel_ms(), wall_ms(),        dp_flops()};
   }
 
+  // Usage accumulated since `mark` (an earlier usage() of this device) —
+  // per-phase attribution without resetting the device.
+  DeviceUsage usage_since(const DeviceUsage& mark) const noexcept {
+    return usage() - mark;
+  }
+
   void reset() {
     stages_.clear();
     transfer_bytes_ = 0;
   }
 
  private:
-  StageStats& declare(std::string_view stage, int blocks, int threads,
-                      const md::OpTally& ops, std::int64_t bytes,
-                      const md::OpTally& serial) {
+  // One launch's bookkeeping: the stage aggregate it landed in plus THIS
+  // launch's modeled kernel time (the stage only holds the running sum),
+  // so the launch span can carry its own price without recomputation.
+  struct Declared {
+    StageStats* stats;
+    double kernel_ms;
+  };
+
+  Declared declare(std::string_view stage, int blocks, int threads,
+                   const md::OpTally& ops, std::int64_t bytes,
+                   const md::OpTally& serial) {
     StageStats& st = slot(stage);
     st.launches += 1;
     st.blocks += blocks;
     st.analytic += ops;
     st.bytes += bytes;
-    st.kernel_ms += kernel_time_ms(*spec_, prec_, ops, bytes, blocks, threads,
-                                   serial, tp_);
-    return st;
+    const double ms = kernel_time_ms(*spec_, prec_, ops, bytes, blocks,
+                                     threads, serial, tp_);
+    st.kernel_ms += ms;
+    return {&st, ms};
+  }
+
+  // Annotate a transfer span with its bytes and modeled wire time, then
+  // record the transfer.  The modeled price is only computed when a
+  // session is live — the disabled path stays one branch per site.
+  void record_transfer(obs::Span& span, std::int64_t bytes) noexcept {
+    if (span.active()) {
+      span.set_bytes(bytes);
+      span.set_modeled_ms(transfer_time_ms(*spec_, bytes, tp_));
+    }
+    transfer(bytes);
   }
 
   StageStats& slot(std::string_view name) {

@@ -161,6 +161,20 @@ struct OpTally {
     a += b;
     return a;
   }
+  // Snapshot deltas (DeviceUsage phase attribution): b must be an earlier
+  // snapshot of the same accumulator, so components never go negative.
+  constexpr OpTally& operator-=(const OpTally& o) noexcept {
+    add -= o.add;
+    sub -= o.sub;
+    mul -= o.mul;
+    div -= o.div;
+    sqrt -= o.sqrt;
+    return *this;
+  }
+  friend constexpr OpTally operator-(OpTally a, const OpTally& b) noexcept {
+    a -= b;
+    return a;
+  }
   constexpr std::int64_t md_ops() const noexcept {
     return add + sub + mul + div + sqrt;
   }

@@ -37,6 +37,9 @@
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
 #include "md/io.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "path/batched_tracker.hpp"
 #include "path/generate.hpp"
 #include "path/tracker.hpp"
@@ -80,5 +83,11 @@ using path::TrackResult;
 // The service daemon (serve/); Request/Response and the cache types stay
 // namespaced under mdlsq::serve.
 using serve::SolverService;
+
+// Observability (obs/, DESIGN.md §12): install a TraceSession to record
+// spans from every layer, export with obs::write_chrome_trace /
+// obs::write_metrics_json; the remaining obs types stay under mdlsq::obs.
+using obs::MetricsRegistry;
+using obs::TraceSession;
 
 }  // namespace mdlsq

@@ -1,0 +1,130 @@
+// Exporters for the observability layer (DESIGN.md §12):
+//   * write_chrome_trace — Chrome `trace_event` JSON ("X" complete
+//     events, microsecond timestamps), loadable in Perfetto or
+//     chrome://tracing and parsed by tools/trace_summarize.py;
+//   * write_metrics_json — a flat dump of a MetricsRegistry.
+//
+// Output goes through C stdio like the bench emitters do (the bench
+// binaries already hold FILE* artifacts open), with fopen-path
+// conveniences for driver code.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mdlsq::obs {
+
+// Minimal JSON string escaping: quotes, backslashes and control bytes.
+// Span/metric names are ASCII identifiers in practice, but tenant names
+// flow in from service callers, so escape defensively.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome trace_event format: one "X" (complete) event per span, ts/dur
+// in microseconds, one pid for the process, the session-assigned tid per
+// emitting thread.  Nesting is implied by containment on a tid, which
+// snapshot() guarantees is consistent (parents start no later and end no
+// earlier than their children).  Modeled price, limb count and bytes
+// ride in args; modeled_ms is omitted when no price was attached.
+inline void write_chrome_trace(std::FILE* f, const TraceSnapshot& snap) {
+  std::fprintf(f, "{\n\"traceEvents\": [");
+  bool first = true;
+  for (const SpanRecord& s : snap.spans) {
+    std::fprintf(f, "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\"",
+                 first ? "" : ",", json_escape(s.name).c_str(),
+                 name_of(s.cat));
+    first = false;
+    std::fprintf(f, ", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+                 static_cast<double>(s.start_ns) / 1e3,
+                 static_cast<double>(s.end_ns - s.start_ns) / 1e3, s.tid);
+    std::fprintf(f, ", \"args\": {\"limbs\": %d, \"measured_ms\": %.6f",
+                 s.limbs, s.measured_ms());
+    if (s.modeled_ms >= 0)
+      std::fprintf(f, ", \"modeled_ms\": %.6f", s.modeled_ms);
+    std::fprintf(f, ", \"bytes\": %lld, \"depth\": %d}}",
+                 static_cast<long long>(s.bytes), s.depth);
+  }
+  std::fprintf(f,
+               "\n],\n\"displayTimeUnit\": \"ms\",\n"
+               "\"otherData\": {\"dropped_spans\": %lld}\n}\n",
+               static_cast<long long>(snap.dropped));
+}
+
+inline void write_chrome_trace(const std::string& path,
+                               const TraceSnapshot& snap) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("mdlsq: cannot open trace output file: " + path);
+  write_chrome_trace(f, snap);
+  std::fclose(f);
+}
+
+// Flat metrics JSON: {"counters": {...}, "gauges": {...},
+// "histograms": {name: {count,min,max,sum,mean,p50,p95,p99}}}.
+inline void write_metrics_json(std::FILE* f, const MetricsRegistry& reg) {
+  std::fprintf(f, "{\n\"counters\": {");
+  bool first = true;
+  for (const auto& [name, v] : reg.counters()) {
+    std::fprintf(f, "%s\n  \"%s\": %lld", first ? "" : ",",
+                 json_escape(name).c_str(), static_cast<long long>(v));
+    first = false;
+  }
+  std::fprintf(f, "\n},\n\"gauges\": {");
+  first = true;
+  for (const auto& [name, v] : reg.gauges()) {
+    std::fprintf(f, "%s\n  \"%s\": %.6f", first ? "" : ",",
+                 json_escape(name).c_str(), v);
+    first = false;
+  }
+  std::fprintf(f, "\n},\n\"histograms\": {");
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    std::fprintf(f,
+                 "%s\n  \"%s\": {\"count\": %lld, \"min\": %.6f, "
+                 "\"max\": %.6f, \"sum\": %.6f, \"mean\": %.6f, "
+                 "\"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f}",
+                 first ? "" : ",", json_escape(name).c_str(),
+                 static_cast<long long>(h.count), h.min, h.max, h.sum,
+                 h.mean(), h.p50, h.p95, h.p99);
+    first = false;
+  }
+  std::fprintf(f, "\n}\n}\n");
+}
+
+inline void write_metrics_json(const std::string& path,
+                               const MetricsRegistry& reg) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("mdlsq: cannot open metrics output file: " +
+                             path);
+  write_metrics_json(f, reg);
+  std::fclose(f);
+}
+
+}  // namespace mdlsq::obs

@@ -1,0 +1,171 @@
+// Metrics: a small registry of named counters, gauges, and fixed-bucket
+// histograms (DESIGN.md §12).  Where trace.hpp records the SHAPE of one
+// run over time, this layer accumulates rates and distributions that
+// survive aggregation — admission rejects by reason, queue depth,
+// per-tenant dispatched cost, factor-cache hit/miss traffic, queue-wait
+// percentiles.
+//
+// Histograms use fixed geometric buckets (powers of two above 1 µs), so
+// observation is O(log) with no allocation after the first, and p50/p95/
+// p99 extraction is a cumulative walk.  A bucket-derived percentile is an
+// upper bound of the true value; it is clamped into the exact [min, max]
+// recorded alongside, which makes degenerate (single-valued)
+// distributions exact.
+//
+// Thread safety: one mutex over the registry.  Metric updates are
+// control-plane events (a submit, a reject, a cache probe) — orders of
+// magnitude rarer than span emission — so a single lock is simpler and
+// fast enough; nothing here executes multiple-double arithmetic, so a
+// shared registry can never perturb tallies.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mdlsq::obs {
+
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const noexcept { return count > 0 ? sum / count : 0.0; }
+};
+
+namespace detail {
+
+// Geometric buckets: bucket i holds values in (2^(i-1), 2^i] µs-scale,
+// i.e. upper bounds 0.001·2^i ms for i in [0, kBuckets).  Bucket 0 also
+// absorbs everything <= 1 µs (including zero / negative observations).
+// The top bucket absorbs everything beyond ~10^16 ms.
+struct Histogram {
+  static constexpr int kBuckets = 64;
+
+  static int bucket_of(double v) noexcept {
+    if (!(v > 1e-3)) return 0;  // NaN and <= 1 µs land in bucket 0
+    const int i = static_cast<int>(std::ceil(std::log2(v / 1e-3)));
+    return std::clamp(i, 0, kBuckets - 1);
+  }
+  static double upper_bound_ms(int i) noexcept { return std::ldexp(1e-3, i); }
+
+  void observe(double v) noexcept {
+    ++buckets[static_cast<std::size_t>(bucket_of(v))];
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  double percentile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    const std::int64_t target = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(q * count)));
+    std::int64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += buckets[static_cast<std::size_t>(i)];
+      if (cum >= target) return std::clamp(upper_bound_ms(i), min, max);
+    }
+    return max;
+  }
+
+  HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    s.count = count;
+    s.min = count > 0 ? min : 0.0;
+    s.max = count > 0 ? max : 0.0;
+    s.sum = sum;
+    s.p50 = percentile(0.50);
+    s.p95 = percentile(0.95);
+    s.p99 = percentile(0.99);
+    return s;
+  }
+
+  std::array<std::int64_t, kBuckets> buckets{};
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace detail
+
+class MetricsRegistry {
+ public:
+  // --- counters: monotone event totals ----------------------------------
+  void counter_add(std::string_view name, std::int64_t delta = 1) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    find_or_insert(counters_, name) += delta;
+  }
+  std::int64_t counter(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    return it != counters_.end() ? it->second : 0;
+  }
+
+  // --- gauges: last-write-wins instantaneous values ---------------------
+  void gauge_set(std::string_view name, double value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    find_or_insert(gauges_, name) = value;
+  }
+  double gauge(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    return it != gauges_.end() ? it->second : 0.0;
+  }
+
+  // --- histograms: fixed-bucket distributions ---------------------------
+  void observe(std::string_view name, double value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    find_or_insert(hists_, name).observe(value);
+  }
+  HistogramSnapshot histogram(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = hists_.find(name);
+    return it != hists_.end() ? it->second.snapshot() : HistogramSnapshot{};
+  }
+
+  // --- export views (copies; safe to hold while others keep updating) ---
+  std::map<std::string, std::int64_t, std::less<>> counters() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+  std::map<std::string, double, std::less<>> gauges() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return gauges_;
+  }
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, HistogramSnapshot, std::less<>> out;
+    for (const auto& [name, h] : hists_) out.emplace(name, h.snapshot());
+    return out;
+  }
+
+ private:
+  // std::map with transparent less<>: find() takes the string_view
+  // directly; only a genuinely new name pays the std::string construction.
+  template <class M>
+  static typename M::mapped_type& find_or_insert(M& m, std::string_view name) {
+    const auto it = m.find(name);
+    if (it != m.end()) return it->second;
+    return m.emplace(std::string(name), typename M::mapped_type{})
+        .first->second;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, detail::Histogram, std::less<>> hists_;
+};
+
+}  // namespace mdlsq::obs

@@ -62,6 +62,7 @@
 #include "core/solve_options.hpp"
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
+#include "obs/trace.hpp"
 #include "path/homotopy.hpp"
 #include "path/series.hpp"
 #include "util/batch_report.hpp"
@@ -300,6 +301,10 @@ CorrectorExit polish_rung(const device::DeviceSpec& spec,
   rs.device_precision = md::Precision(FL);
   rs.cond_estimate = cond;
 
+  // Escalation rung: refinement at P on FL factors (ladder category,
+  // like the adaptive driver's rungs).
+  obs::Span rung_span("rung refine", obs::Cat::ladder, P);
+
   CorrectorExit exit = CorrectorExit::stagnated;
   {
     md::ScopedTally host_scope(rs.host_ops);
@@ -356,6 +361,7 @@ CorrectorExit polish_rung(const device::DeviceSpec& spec,
   rs.measured = u.measured;
   rs.kernel_ms = u.kernel_ms;
   rs.wall_ms = u.wall_ms;
+  rung_span.set_modeled_ms(rs.kernel_ms);
   return exit;
 }
 
@@ -453,24 +459,27 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
 
   for (;;) {
     t1 = t0 + hs;
-    // Predict x(t1) from the series (launched) or its Padé approximant
-    // (host arithmetic, tallied like the ladder's acceptance work).
     blas::Vector<TL> xp;
-    if (opt.predictor == PredictorKind::series) {
-      launch_predict<TL>(dev, m, orders, opt.tile,
-                         [&] { xp = horner_eval(xs, hs); });
-    } else {
-      md::ScopedTally host_scope(rs.host_ops);
-      xp = pade_eval(xs, opt.pade_denominator, hs);
-    }
-    // A(t1), b(t1) for the corrector.
     blas::Matrix<TL> a1;
     blas::Vector<TL> b1;
-    launch_eval_ab<TL>(dev, m, aterms, bterms, opt.tile, [&] {
-      a1 = hl.a_at(t1);
-      b1 = hl.b_at(t1);
-    });
-    st.predict_evals += 1;
+    {
+      // Predict x(t1) from the series (launched) or its Padé approximant
+      // (host arithmetic, tallied like the ladder's acceptance work).
+      obs::Span predict_span("predictor", obs::Cat::step, L);
+      if (opt.predictor == PredictorKind::series) {
+        launch_predict<TL>(dev, m, orders, opt.tile,
+                           [&] { xp = horner_eval(xs, hs); });
+      } else {
+        md::ScopedTally host_scope(rs.host_ops);
+        xp = pade_eval(xs, opt.pade_denominator, hs);
+      }
+      // A(t1), b(t1) for the corrector.
+      launch_eval_ab<TL>(dev, m, aterms, bterms, opt.tile, [&] {
+        a1 = hl.a_at(t1);
+        b1 = hl.b_at(t1);
+      });
+      st.predict_evals += 1;
+    }
 
     const double anorm = core::detail::dnorm_inf_mat(a1);
     const double bnorm = core::detail::dnorm_inf_vec(b1);
@@ -481,6 +490,7 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
           xp[static_cast<std::size_t>(j)].template to_precision<NH>();
 
     // Newton corrector on the cached t0 factors.
+    obs::Span correct_span("corrector", obs::Cat::step, L);
     double prev = std::numeric_limits<double>::infinity();
     for (int iter = 0;; ++iter) {
       auto xq = core::detail::narrow_vector<L, NH>(xw);
@@ -531,6 +541,10 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
     if (exit != CorrectorExit::stagnated) break;
     // The step outran the frozen-Jacobian contraction: halve and retry.
     if (st.halvings >= opt.max_halvings || hs * 0.5 < opt.min_step) break;
+    if (obs::current_session() != nullptr) {
+      const std::int64_t hn = obs::now_ns();  // instant event: the halving
+      obs::emit_span("halve step", obs::Cat::step, hn, hn, L);
+    }
     st.halvings += 1;
     hs *= 0.5;
   }
@@ -606,6 +620,9 @@ TrackResult<NH> track(const device::DeviceSpec& spec,
          static_cast<int>(out.steps.size()) < topt.max_steps) {
     StepStats st;
     st.t0 = t;
+    // Parent span over the whole step (every attempt and escalation);
+    // closed at the end of this loop iteration.
+    obs::Span step_span("track step", obs::Cat::step, cur);
     detail::StepOutcome outcome;
     for (;;) {
       core::detail::with_limbs(cur, [&](auto tag) {
@@ -630,6 +647,8 @@ TrackResult<NH> track(const device::DeviceSpec& spec,
     } else {
       ok = false;
     }
+    step_span.set_limbs(cur);
+    step_span.set_modeled_ms(st.kernel_ms());
     out.steps.push_back(std::move(st));
   }
 

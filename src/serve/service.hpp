@@ -66,6 +66,8 @@
 #include "core/least_squares.hpp"
 #include "core/solve_options.hpp"
 #include "device/launch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "path/tracker.hpp"
 #include "serve/api.hpp"
 #include "serve/factor_cache.hpp"
@@ -89,6 +91,11 @@ struct ServiceOptions {
   // worker thread that ran it; the sink must be thread-safe).  The job id
   // is row.problems[0].
   std::function<void(const util::BatchDeviceRow&)> row_sink;
+  // Optional telemetry sink (DESIGN.md §12): admission counters by
+  // outcome, queue depth / backlog gauges, queue-wait histogram,
+  // per-tenant dispatched cost and factor-cache traffic.  Not owned; must
+  // outlive the service.  Null disables metric emission entirely.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Aggregate counters of one service instance.  The tally pair is the
@@ -99,11 +106,20 @@ struct ServiceStats {
   std::int64_t submitted = 0;
   std::int64_t accepted = 0;
   std::int64_t rejected = 0;
+  // Rejects by reason; always sums to `rejected` (there are exactly two
+  // admission fences).
+  std::int64_t rejected_queue_depth = 0;
+  std::int64_t rejected_backlog = 0;
   std::int64_t completed = 0;
   std::int64_t failed = 0;      // job threw; exception forwarded to future
   std::int64_t queued = 0;      // currently waiting
   std::int64_t running = 0;     // currently executing
   double backlog_ms = 0.0;      // modeled cost currently queued
+  // Factor-cache traffic, mirrored from FactorCacheStats at stats() time
+  // so one snapshot carries the whole service picture.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_evictions = 0;
   md::OpTally analytic;         // summed over completed jobs
   md::OpTally measured;
   double kernel_ms = 0.0;
@@ -164,11 +180,15 @@ class SolverService {
     job.tenant = tenant;
     job.req = std::move(req);
     job.cost_ms = cost;
+    job.submitted_ns = obs::now_ns();  // queue-wait span / histogram start
 
     SubmitTicket<NH> ticket;
     ticket.result = job.promise.get_future();
 
     std::string reject;
+    bool depth_reject = false;
+    std::int64_t depth_now = 0;
+    double backlog_now = 0.0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       job.id = next_id_++;
@@ -177,6 +197,7 @@ class SolverService {
       if (stats_.queued >= opt_.queue_limit) {
         reject = "queue depth " + std::to_string(stats_.queued) +
                  " at limit " + std::to_string(opt_.queue_limit);
+        depth_reject = true;
       } else if (opt_.backlog_limit_ms > 0 &&
                  stats_.backlog_ms + cost > opt_.backlog_limit_ms) {
         reject = "modeled backlog " + format_ms(stats_.backlog_ms) +
@@ -190,7 +211,24 @@ class SolverService {
         queues_[tenant].push_back(std::move(job));
       } else {
         ++stats_.rejected;
+        if (depth_reject)
+          ++stats_.rejected_queue_depth;
+        else
+          ++stats_.rejected_backlog;
       }
+      depth_now = stats_.queued;
+      backlog_now = stats_.backlog_ms;
+    }
+
+    if (obs::MetricsRegistry* m = opt_.metrics) {
+      m->counter_add("serve.submitted");
+      if (reject.empty())
+        m->counter_add("serve.accepted");
+      else
+        m->counter_add(depth_reject ? "serve.rejected.queue_depth"
+                                    : "serve.rejected.backlog");
+      m->gauge_set("serve.queue_depth", static_cast<double>(depth_now));
+      m->gauge_set("serve.backlog_ms", backlog_now);
     }
 
     if (reject.empty()) {
@@ -219,8 +257,16 @@ class SolverService {
   }
 
   ServiceStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    ServiceStats s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      s = stats_;
+    }
+    const FactorCacheStats cs = cache_.stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_evictions = cs.evictions;
+    return s;
   }
   FactorCacheStats cache_stats() const { return cache_.stats(); }
   util::BatchReport report() const {
@@ -235,6 +281,7 @@ class SolverService {
     std::string tenant;
     Request<NH> req;
     double cost_ms = 0.0;
+    std::int64_t submitted_ns = 0;  // monotonic submit time (queue wait)
     std::promise<Response<NH>> promise;
   };
 
@@ -315,6 +362,8 @@ class SolverService {
   void worker_loop(int slot) {
     for (;;) {
       Job job;
+      double tenant_share = 0.0;
+      std::int64_t depth_now = 0;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stopping_ || stats_.queued > 0; });
@@ -323,12 +372,32 @@ class SolverService {
           continue;
         }
         job = pop_fair_locked();
+        tenant_share = served_[job.tenant];
+        depth_now = stats_.queued;
+      }
+
+      // Queue wait: the span opened at submit on the client thread and
+      // closes here at dispatch, so it lands in THIS worker's ring with
+      // explicit timestamps; modeled_ms carries the admission price.
+      const std::int64_t dispatch_ns = obs::now_ns();
+      obs::emit_span("queue wait", obs::Cat::queue, job.submitted_ns,
+                     dispatch_ns, NH, job.cost_ms);
+      if (obs::MetricsRegistry* m = opt_.metrics) {
+        m->observe("serve.queue_wait_ms",
+                   static_cast<double>(dispatch_ns - job.submitted_ns) / 1e6);
+        m->gauge_set("serve.queue_depth", static_cast<double>(depth_now));
+        m->gauge_set("serve.tenant." + job.tenant + ".dispatched_ms",
+                     tenant_share);
       }
 
       Response<NH> resp;
       bool ok = true;
       std::exception_ptr error;
       try {
+        // Parent span over the job's whole execution; every launch,
+        // transfer, ladder rung or tracker step it issues nests inside.
+        obs::Span job_span("job", obs::Cat::service, NH);
+        job_span.set_modeled_ms(job.cost_ms);
         resp = execute(slot, job);
       } catch (...) {
         ok = false;
@@ -412,12 +481,14 @@ class SolverService {
     }
 
     if (cached != nullptr) {
+      obs::Span span("cache hit", obs::Cat::cache, NH);
       device::Staged1D<T> sb = dev.stage(job.b);
       device::Staged1D<T> y =
           core::staged_lsq_finish<T>(dev, cached.get(), &sb, M, C, job.tile);
       resp.x = dev.unstage(y);
       resp.cache_hit = true;
     } else {
+      obs::Span span("cache miss", obs::Cat::cache, NH);
       device::Staged2D<T> sa = dev.stage(job.a);
       device::Staged1D<T> sb = dev.stage(job.b);
       core::StagedQr<T> f =
@@ -431,6 +502,16 @@ class SolverService {
                       std::make_shared<const core::StagedQr<T>>(std::move(f)),
                       bytes);
       }
+    }
+    if (obs::MetricsRegistry* m = opt_.metrics;
+        m != nullptr && opt_.cache_bytes > 0) {
+      m->counter_add(resp.cache_hit ? "serve.cache.hits"
+                                    : "serve.cache.misses");
+      const FactorCacheStats cs = cache_.stats();
+      m->gauge_set("serve.cache.entries", static_cast<double>(cs.entries));
+      m->gauge_set("serve.cache.bytes", static_cast<double>(cs.bytes));
+      m->gauge_set("serve.cache.evictions",
+                   static_cast<double>(cs.evictions));
     }
     resp.analytic = dev.analytic_total();
     resp.measured = dev.measured_total();

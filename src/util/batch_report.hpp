@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "md/op_counts.hpp"
+#include "obs/export.hpp"
 #include "util/table.hpp"
 
 namespace mdlsq::util {
@@ -215,6 +216,65 @@ struct BatchReport {
                    std::to_string(r.tally.md_ops()), fmt2(r.kernel_ms)});
       p.print(out);
     }
+  }
+
+  // Machine-readable twin of print(): the same per-device / per-rung /
+  // per-path rows as one JSON object, for the bench artifacts and any
+  // driver that wants to post-process a run (tools/trace_summarize.py
+  // consumes the Chrome trace; this carries the schedule accounting).
+  void write_json(std::FILE* out) const {
+    using obs::json_escape;
+    std::fprintf(out,
+                 "{\n\"precision\": \"%s\", \"policy\": \"%s\", "
+                 "\"pipeline\": \"%s\", \"problems\": %d,\n",
+                 md::name_of(precision), json_escape(policy).c_str(),
+                 json_escape(pipeline).c_str(), problem_count());
+    std::fprintf(out,
+                 "\"totals\": {\"md_ops\": %lld, \"dp_gflop\": %.6f, "
+                 "\"kernel_ms\": %.6f, \"makespan_ms\": %.6f},\n",
+                 static_cast<long long>(tally.md_ops()), dp_gflop_total,
+                 kernel_ms, makespan_ms);
+    std::fprintf(out, "\"devices\": [");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(out,
+                   "%s\n  {\"device\": %d, \"name\": \"%s\", \"problems\": [",
+                   i ? "," : "", r.device, json_escape(r.name).c_str());
+      for (std::size_t p = 0; p < r.problems.size(); ++p)
+        std::fprintf(out, "%s%d", p ? ", " : "", r.problems[p]);
+      std::fprintf(out,
+                   "], \"md_ops\": %lld, \"dp_gflop\": %.6f, "
+                   "\"kernel_ms\": %.6f, \"wall_ms\": %.6f}",
+                   static_cast<long long>(r.tally.md_ops()), r.dp_gflop,
+                   r.kernel_ms, r.wall_ms);
+    }
+    std::fprintf(out, "\n],\n\"rungs\": [");
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+      const auto& r = rungs[i];
+      std::fprintf(out,
+                   "%s\n  {\"precision\": \"%s\", \"problems\": %d, "
+                   "\"refactorizations\": %d, \"accepted\": %d, "
+                   "\"refine_iterations\": %lld, \"md_ops\": %lld, "
+                   "\"dp_gflop\": %.6f, \"kernel_ms\": %.6f}",
+                   i ? "," : "", md::name_of(r.precision), r.problems,
+                   r.refactorizations, r.accepted,
+                   static_cast<long long>(r.refine_iterations),
+                   static_cast<long long>(r.tally.md_ops()), r.dp_gflop,
+                   r.kernel_ms);
+    }
+    std::fprintf(out, "\n],\n\"paths\": [");
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const auto& r = paths[i];
+      std::fprintf(out,
+                   "%s\n  {\"path\": %d, \"device\": %d, \"steps\": %d, "
+                   "\"correction_solves\": %d, \"final_precision\": \"%s\", "
+                   "\"converged\": %s, \"md_ops\": %lld, \"kernel_ms\": %.6f}",
+                   i ? "," : "", r.path, r.device, r.steps,
+                   r.correction_solves, md::name_of(r.final_precision),
+                   r.converged ? "true" : "false",
+                   static_cast<long long>(r.tally.md_ops()), r.kernel_ms);
+    }
+    std::fprintf(out, "\n]\n}\n");
   }
 };
 

@@ -250,3 +250,44 @@ TEST(Launch, ResetClearsEverything) {
   EXPECT_EQ(dev.kernel_ms(), 0.0);
   EXPECT_EQ(dev.wall_ms(), 0.0);
 }
+
+TEST(Launch, UsageSnapshotDeltaAttributesPerPhase) {
+  device::Device dev(device::volta_v100(), md::Precision::d2,
+                     device::ExecMode::dry_run);
+  dev.launch("phase1", 2, 32, md::OpTally{.add = 10, .mul = 4}, 100, {},
+             [] {});
+  dev.transfer(1000);
+  const device::DeviceUsage mark = dev.usage();
+
+  dev.launch("phase2", 3, 64, md::OpTally{.add = 7}, 50, {}, [] {});
+  dev.launch("phase2", 1, 32, md::OpTally{.mul = 2}, 25, {}, [] {});
+  dev.transfer(500);
+
+  const device::DeviceUsage delta = dev.usage_since(mark);
+  EXPECT_EQ(delta.launches, 2);
+  EXPECT_EQ(delta.analytic.add, 7);
+  EXPECT_EQ(delta.analytic.mul, 2);
+  EXPECT_EQ(delta.bytes, 75);
+  EXPECT_GT(delta.kernel_ms, 0.0);
+  EXPECT_GT(delta.wall_ms, delta.kernel_ms);  // the 500-byte transfer
+  // mark + delta must reassemble the cumulative totals exactly.
+  EXPECT_DOUBLE_EQ(mark.kernel_ms + delta.kernel_ms, dev.usage().kernel_ms);
+  EXPECT_DOUBLE_EQ(mark.wall_ms + delta.wall_ms, dev.usage().wall_ms);
+  EXPECT_EQ(mark.launches + delta.launches, dev.usage().launches);
+}
+
+TEST(Launch, DeviceUsageResetZeroesTheSnapshot) {
+  device::Device dev(device::volta_v100(), md::Precision::d2,
+                     device::ExecMode::dry_run);
+  dev.launch("k", 1, 32, md::OpTally{.add = 3}, 10, {}, [] {});
+  device::DeviceUsage u = dev.usage();
+  EXPECT_GT(u.launches, 0);
+  u.reset();
+  EXPECT_EQ(u.launches, 0);
+  EXPECT_EQ(u.analytic, md::OpTally{});
+  EXPECT_EQ(u.measured, md::OpTally{});
+  EXPECT_EQ(u.bytes, 0);
+  EXPECT_EQ(u.kernel_ms, 0.0);
+  EXPECT_EQ(u.wall_ms, 0.0);
+  EXPECT_EQ(u.dp_flops, 0.0);
+}

@@ -1,0 +1,380 @@
+// The observability layer (DESIGN.md §12): span nesting and annotations,
+// thread-interleaved emission, ring overflow (drop-oldest), the metrics
+// registry, the Chrome-trace/metrics exporters, and — the property the
+// whole design hangs on — that a live TraceSession changes NOTHING about
+// the computation: bit-identical results, exact tallies, identical
+// modeled times.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blas/generate.hpp"
+#include "core/adaptive_lsq.hpp"
+#include "core/least_squares.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/test_support.hpp"
+
+using namespace mdlsq;
+using test_support::make_dev;
+
+namespace {
+
+// Reads a stdio tmpfile back into a string (exporters write FILE*).
+std::string slurp(std::FILE* f) {
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  return out;
+}
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+template <class T>
+bool bitwise_equal(const blas::Vector<T>& a, const blas::Vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (int k = 0; k < T::limbs; ++k)
+      if (a[i].limb(k) != b[i].limb(k)) return false;
+  return true;
+}
+
+}  // namespace
+
+// --- session lifecycle -----------------------------------------------------
+
+TEST(TraceSession, InstallsAndUninstalls) {
+  EXPECT_EQ(obs::current_session(), nullptr);
+  {
+    obs::TraceSession session;
+    EXPECT_EQ(obs::current_session(), &session);
+  }
+  EXPECT_EQ(obs::current_session(), nullptr);
+}
+
+TEST(TraceSession, SecondConcurrentSessionThrows) {
+  obs::TraceSession session;
+  EXPECT_THROW(obs::TraceSession second, std::logic_error);
+  // The failed constructor must not have clobbered the installed one.
+  EXPECT_EQ(obs::current_session(), &session);
+}
+
+TEST(TraceSession, SequentialSessionsAreIndependent) {
+  {
+    obs::TraceSession first;
+    obs::Span s("in first", obs::Cat::service);
+  }
+  obs::TraceSession second;
+  { obs::Span s("in second", obs::Cat::service); }
+  const auto snap = second.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "in second");
+}
+
+TEST(TraceSession, ZeroRingCapacityThrows) {
+  EXPECT_THROW(obs::TraceSession s(obs::TraceOptions{0}),
+               std::invalid_argument);
+  EXPECT_EQ(obs::current_session(), nullptr);
+}
+
+// --- span mechanics --------------------------------------------------------
+
+TEST(TraceSpan, DisabledSpanIsInert) {
+  ASSERT_EQ(obs::current_session(), nullptr);
+  obs::Span s("never recorded", obs::Cat::kernel, 4);
+  EXPECT_FALSE(s.active());
+  s.set_modeled_ms(1.0);  // annotations must be safe no-ops
+  s.set_bytes(64);
+  obs::emit_span("also dropped", obs::Cat::queue, 0, 10);
+}
+
+TEST(TraceSpan, NestingRecordsDepthAndContainment) {
+  obs::TraceSession session;
+  {
+    obs::Span outer("outer", obs::Cat::ladder, 4);
+    {
+      obs::Span mid("mid", obs::Cat::panel, 4);
+      obs::Span inner("inner", obs::Cat::kernel, 4);
+    }
+  }
+  const auto snap = session.snapshot();
+  ASSERT_EQ(snap.spans.size(), 3u);
+  // snapshot() sorts by (start, -end): parents precede their children.
+  EXPECT_EQ(snap.spans[0].name, "outer");
+  EXPECT_EQ(snap.spans[1].name, "mid");
+  EXPECT_EQ(snap.spans[2].name, "inner");
+  EXPECT_EQ(snap.spans[0].depth, 0);
+  EXPECT_EQ(snap.spans[1].depth, 1);
+  EXPECT_EQ(snap.spans[2].depth, 2);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_GE(snap.spans[i].start_ns, snap.spans[i - 1].start_ns);
+    EXPECT_LE(snap.spans[i].end_ns, snap.spans[i - 1].end_ns);
+  }
+}
+
+TEST(TraceSpan, AnnotationsLandInTheRecord) {
+  obs::TraceSession session;
+  {
+    obs::Span s("priced", obs::Cat::transfer, 8);
+    EXPECT_TRUE(s.active());
+    s.set_modeled_ms(1.5);
+    s.add_modeled_ms(0.5);
+    s.set_bytes(100);
+    s.add_bytes(28);
+  }
+  const auto snap = session.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  const auto& r = snap.spans[0];
+  EXPECT_EQ(r.name, "priced");
+  EXPECT_EQ(r.cat, obs::Cat::transfer);
+  EXPECT_EQ(r.limbs, 8);
+  EXPECT_DOUBLE_EQ(r.modeled_ms, 2.0);
+  EXPECT_EQ(r.bytes, 128);
+  EXPECT_GE(r.end_ns, r.start_ns);
+  EXPECT_GE(r.measured_ms(), 0.0);
+}
+
+TEST(TraceSpan, EmitSpanUsesExplicitTimestamps) {
+  obs::TraceSession session;
+  obs::emit_span("queue wait", obs::Cat::queue, 1000, 4000, 2, 0.25, 0);
+  const auto snap = session.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].start_ns, 1000);
+  EXPECT_EQ(snap.spans[0].end_ns, 4000);
+  EXPECT_EQ(snap.spans[0].limbs, 2);
+  EXPECT_DOUBLE_EQ(snap.spans[0].modeled_ms, 0.25);
+  EXPECT_DOUBLE_EQ(snap.spans[0].measured_ms(), 3000.0 / 1e6);
+}
+
+TEST(TraceSpan, ThreadInterleavedEmission) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 32;
+  obs::TraceSession session;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([t] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        obs::Span s("worker " + std::to_string(t), obs::Cat::step, t + 1);
+      }
+    });
+  for (auto& w : workers) w.join();
+  const auto snap = session.snapshot();
+  EXPECT_EQ(session.threads(), static_cast<std::size_t>(kThreads));
+  ASSERT_EQ(snap.spans.size(),
+            static_cast<std::size_t>(kThreads * kSpansEach));
+  EXPECT_EQ(snap.dropped, 0);
+  std::set<std::uint32_t> tids;
+  for (const auto& r : snap.spans) tids.insert(r.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  // Global chronological order regardless of the emitting ring.
+  for (std::size_t i = 1; i < snap.spans.size(); ++i)
+    EXPECT_GE(snap.spans[i].start_ns, snap.spans[i - 1].start_ns);
+}
+
+TEST(TraceSpan, RingOverflowDropsOldestAndCounts) {
+  obs::TraceSession session(obs::TraceOptions{8});
+  for (int i = 0; i < 20; ++i)
+    obs::emit_span("s" + std::to_string(i), obs::Cat::service, i, i + 1);
+  EXPECT_EQ(session.dropped(), 12);
+  const auto snap = session.snapshot();
+  EXPECT_EQ(snap.dropped, 12);
+  ASSERT_EQ(snap.spans.size(), 8u);
+  // Drop-oldest: the survivors are the NEWEST 8 records, in order.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(snap.spans[static_cast<std::size_t>(i)].name,
+              "s" + std::to_string(12 + i));
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CountersAndGauges) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("serve.accepted"), 0);
+  reg.counter_add("serve.accepted");
+  reg.counter_add("serve.accepted", 4);
+  EXPECT_EQ(reg.counter("serve.accepted"), 5);
+  reg.gauge_set("serve.queue_depth", 3.0);
+  reg.gauge_set("serve.queue_depth", 7.0);  // last write wins
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.queue_depth"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("missing"), 0.0);
+}
+
+TEST(Metrics, HistogramDegenerateDistributionIsExact) {
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 100; ++i) reg.observe("wait", 5.0);
+  const auto h = reg.histogram("wait");
+  EXPECT_EQ(h.count, 100);
+  EXPECT_DOUBLE_EQ(h.min, 5.0);
+  EXPECT_DOUBLE_EQ(h.max, 5.0);
+  EXPECT_DOUBLE_EQ(h.sum, 500.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  // Bucket upper bounds are clamped into [min, max]: exact here.
+  EXPECT_DOUBLE_EQ(h.p50, 5.0);
+  EXPECT_DOUBLE_EQ(h.p95, 5.0);
+  EXPECT_DOUBLE_EQ(h.p99, 5.0);
+}
+
+TEST(Metrics, HistogramPercentilesAreOrderedBounds) {
+  obs::MetricsRegistry reg;
+  // 98 fast observations and two slow outliers: the p99 target rank
+  // (ceil(0.99 * 100) = 99) falls past the fast bucket's 98.
+  for (int i = 0; i < 98; ++i) reg.observe("wait", 0.5);
+  reg.observe("wait", 400.0);
+  reg.observe("wait", 400.0);
+  const auto h = reg.histogram("wait");
+  EXPECT_EQ(h.count, 100);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 400.0);
+  EXPECT_LE(h.p50, h.p95);
+  EXPECT_LE(h.p95, h.p99);
+  // p50/p95 sit in the fast bucket (upper bound 2^k µs >= 0.5 ms, < 1.1);
+  // p99 must have crossed into the outliers' bucket, whose upper bound
+  // clamps to the exact recorded max.
+  EXPECT_LT(h.p50, 1.1);
+  EXPECT_LT(h.p95, 1.1);
+  EXPECT_GT(h.p99, 100.0);
+  EXPECT_DOUBLE_EQ(h.p99, 400.0);
+  const auto empty = reg.histogram("missing");
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+// --- exporters -------------------------------------------------------------
+
+TEST(Export, ChromeTraceShapeAndEscaping) {
+  obs::TraceSession session;
+  {
+    obs::Span outer("needs \"escaping\"\n", obs::Cat::ladder, 4);
+    outer.set_modeled_ms(1.25);
+    obs::Span inner("child", obs::Cat::kernel, 4);  // no modeled price
+  }
+  const auto snap = session.snapshot();
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  obs::write_chrome_trace(f, snap);
+  const std::string json = slurp(f);
+  std::fclose(f);
+  EXPECT_TRUE(contains(json, "\"traceEvents\""));
+  EXPECT_TRUE(contains(json, "\"ph\": \"X\""));
+  EXPECT_TRUE(contains(json, "\"name\": \"needs \\\"escaping\\\"\\n\""));
+  EXPECT_TRUE(contains(json, "\"cat\": \"ladder\""));
+  EXPECT_TRUE(contains(json, "\"cat\": \"kernel\""));
+  EXPECT_TRUE(contains(json, "\"modeled_ms\": 1.250000"));
+  EXPECT_TRUE(contains(json, "\"displayTimeUnit\": \"ms\""));
+  EXPECT_TRUE(contains(json, "\"dropped_spans\": 0"));
+  // The unpriced child must omit modeled_ms entirely, not emit -1.
+  EXPECT_FALSE(contains(json, "-1.0"));
+}
+
+TEST(Export, MetricsJsonShape) {
+  obs::MetricsRegistry reg;
+  reg.counter_add("serve.rejected.backlog", 3);
+  reg.gauge_set("serve.cache.bytes", 4096.0);
+  reg.observe("serve.queue_wait_ms", 2.0);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  obs::write_metrics_json(f, reg);
+  const std::string json = slurp(f);
+  std::fclose(f);
+  EXPECT_TRUE(contains(json, "\"counters\""));
+  EXPECT_TRUE(contains(json, "\"serve.rejected.backlog\": 3"));
+  EXPECT_TRUE(contains(json, "\"serve.cache.bytes\": 4096.000000"));
+  EXPECT_TRUE(contains(json, "\"serve.queue_wait_ms\": {\"count\": 1"));
+}
+
+// --- instrumented pipelines -----------------------------------------------
+
+TEST(TracedPipeline, LeastSquaresEmitsKernelTransferAndPanelSpans) {
+  std::mt19937_64 gen(7001);
+  auto a = blas::random_matrix<md::dd_real>(24, 8, gen);
+  auto b = blas::random_vector<md::dd_real>(24, gen);
+  auto dev = make_dev<md::dd_real>(device::ExecMode::functional);
+  obs::TraceSession session;
+  auto res = core::least_squares(dev, a, b, 4);
+  const auto snap = session.snapshot();
+  int kernel = 0, transfer = 0, panel = 0;
+  for (const auto& r : snap.spans) {
+    if (r.cat == obs::Cat::kernel) {
+      ++kernel;
+      EXPECT_EQ(r.limbs, 2);
+      EXPECT_GE(r.modeled_ms, 0.0) << r.name;
+    }
+    if (r.cat == obs::Cat::transfer) {
+      ++transfer;
+      EXPECT_GT(r.bytes, 0) << r.name;
+      EXPECT_GE(r.modeled_ms, 0.0) << r.name;
+    }
+    if (r.cat == obs::Cat::panel) ++panel;
+  }
+  EXPECT_EQ(kernel, dev.launches());
+  EXPECT_GE(transfer, 3);     // stage A, stage b, unstage x at least
+  EXPECT_EQ(panel, 8 / 4);    // one span per QR panel
+  // The spans' modeled kernel prices must reassemble the device total.
+  double modeled = 0;
+  for (const auto& r : snap.spans)
+    if (r.cat == obs::Cat::kernel) modeled += r.modeled_ms;
+  EXPECT_NEAR(modeled, dev.kernel_ms(), 1e-9 * std::max(1.0, modeled));
+  EXPECT_EQ(res.x.size(), 8u);
+}
+
+TEST(TracedPipeline, TracingIsBitIdenticalAndTallyNeutral) {
+  std::mt19937_64 gen(7002);
+  auto a = blas::random_matrix<md::qd_real>(20, 8, gen);
+  auto b = blas::random_vector<md::qd_real>(20, gen);
+
+  auto plain_dev = make_dev<md::qd_real>(device::ExecMode::functional);
+  auto plain = core::least_squares(plain_dev, a, b, 4);
+
+  auto traced_dev = make_dev<md::qd_real>(device::ExecMode::functional);
+  obs::TraceSession session;
+  auto traced = core::least_squares(traced_dev, a, b, 4);
+  EXPECT_FALSE(session.snapshot().spans.empty());
+
+  EXPECT_TRUE(bitwise_equal(plain.x, traced.x));
+  const auto u0 = plain_dev.usage();
+  const auto u1 = traced_dev.usage();
+  EXPECT_EQ(u0.launches, u1.launches);
+  EXPECT_TRUE(u0.analytic == u1.analytic);
+  EXPECT_TRUE(u0.measured == u1.measured);
+  EXPECT_TRUE(u1.measured == u1.analytic);  // tally exactness, traced
+  EXPECT_EQ(u0.bytes, u1.bytes);
+  EXPECT_DOUBLE_EQ(u0.kernel_ms, u1.kernel_ms);
+  EXPECT_DOUBLE_EQ(u0.wall_ms, u1.wall_ms);
+}
+
+TEST(TracedPipeline, AdaptiveLadderEmitsRungSpans) {
+  std::mt19937_64 gen(7003);
+  auto a = blas::random_matrix<md::qd_real>(24, 8, gen);
+  auto b = blas::random_vector<md::qd_real>(24, gen);
+  core::AdaptiveOptions opt;
+  opt.tile = 4;
+  opt.tol = 1e-60;  // force the ladder past its first rung
+  obs::TraceSession session;
+  auto res =
+      core::adaptive_least_squares<4>(device::volta_v100(), a, b, opt);
+  const auto snap = session.snapshot();
+  int rungs = 0;
+  std::set<int> rung_limbs;
+  for (const auto& r : snap.spans)
+    if (r.cat == obs::Cat::ladder) {
+      ++rungs;
+      rung_limbs.insert(r.limbs);
+      EXPECT_TRUE(r.name == "rung refine" || r.name == "rung refactor")
+          << r.name;
+      EXPECT_GE(r.modeled_ms, 0.0);
+    }
+  EXPECT_EQ(rungs, static_cast<int>(res.rungs.size()));
+  EXPECT_GE(rung_limbs.size(), 2u);  // the ladder really climbed
+}

@@ -506,3 +506,117 @@ TEST(ServeValidation, BatchedTrackValidatesDryDimsInRelease) {
                std::invalid_argument);
   EXPECT_NO_THROW(path::batched_track<2>(pool, good, opt));
 }
+
+// --- stats satellite: rejects by reason, cache counters, metrics mirror -----
+
+TEST(ServeStats, MixedWorkloadCountersAreConsistent) {
+  auto [a, b] = random_problem<4>(32, 16, 0x57a1);
+  auto [a2, b2] = random_problem<4>(32, 16, 0x57a2);
+  auto [big_a, big_b] = random_problem<4>(160, 80, 0x57a3);
+
+  // Size the cache to hold exactly ONE 32x16 factor, so the second cold
+  // matrix must evict the first.
+  std::int64_t factor_bytes = 0;
+  {
+    auto dev = test_support::make_dev<md::qd_real>(device::ExecMode::functional);
+    auto sa = dev.stage(a);
+    auto f = core::blocked_qr_staged_run<md::qd_real>(dev, &sa, 32, 16, 16);
+    factor_bytes = f.q.bytes() + f.r.bytes();
+  }
+  ASSERT_GT(factor_bytes, 0);
+
+  // Price the jobs exactly the way the service's admission does (dry
+  // pricers against the pool's first slot), then place the backlog limit
+  // BETWEEN the adaptive warmup's price (must be admitted on an empty
+  // queue) and the fixed-d4 big solve's (must be rejected on one): the
+  // adaptive ladder prices its big solve at the cheap d2 starting rung,
+  // so it undercuts the same shape solved entirely at d4.
+  device::Device pricer(device::volta_v100(), md::Precision::d4,
+                        device::ExecMode::dry_run);
+  core::least_squares_dry<md::qd_real>(pricer, 32, 16, 16);
+  const double one = pricer.wall_ms();
+  device::Device big_pricer(device::volta_v100(), md::Precision::d4,
+                            device::ExecMode::dry_run);
+  core::least_squares_dry<md::qd_real>(big_pricer, 160, 80, 16);
+  const double big_fixed = big_pricer.wall_ms();
+  const double warm_adaptive = core::adaptive_least_squares_dry<md::qd_real>(
+                                   device::volta_v100(), 160, 80, {})
+                                   .wall_ms();
+  ASSERT_GT(one, 0.0);
+  ASSERT_LT(warm_adaptive, big_fixed);
+  const double limit = 0.5 * (warm_adaptive + big_fixed);
+  ASSERT_GT(limit, 2 * one) << "two small jobs must fit under the limit";
+
+  obs::MetricsRegistry metrics;
+  serve::ServiceOptions opt;
+  opt.queue_limit = 2;
+  opt.backlog_limit_ms = limit;
+  opt.cache_bytes = factor_bytes + factor_bytes / 2;
+  opt.metrics = &metrics;
+  serve::SolverService<4> svc(
+      core::DevicePool::homogeneous(device::volta_v100(), 1), opt);
+
+  // A long adaptive warmup occupies the single worker (and never touches
+  // the factor cache), so the small jobs pile up behind it.
+  serve::Request<4> warm;
+  warm.job = serve::AdaptiveLsqJob<4>{big_a, big_b, {}};
+  auto w = svc.submit(warm);
+  wait_until_dispatched(svc);
+
+  auto j1 = svc.submit(lsq_request<4>(a, b, 16));   // queued; cold miss
+  auto j2 = svc.submit(lsq_request<4>(a, b, 16));   // queued; warm hit
+  auto j3 = svc.submit(lsq_request<4>(a, b, 16));   // queue depth reject
+  ASSERT_TRUE(w.accepted && j1.accepted && j2.accepted);
+  ASSERT_FALSE(j3.accepted);
+  EXPECT_NE(j3.reject_reason.find("queue depth"), std::string::npos);
+  svc.drain();
+
+  auto j4 = svc.submit(lsq_request<4>(big_a, big_b, 16));  // backlog reject
+  ASSERT_FALSE(j4.accepted);
+  EXPECT_NE(j4.reject_reason.find("backlog"), std::string::npos);
+
+  auto j5 = svc.submit(lsq_request<4>(a2, b2, 16));  // cold miss + eviction
+  svc.drain();
+
+  EXPECT_FALSE(j1.result.get().cache_hit);
+  EXPECT_TRUE(j2.result.get().cache_hit);
+  EXPECT_FALSE(j5.result.get().cache_hit);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, 6);
+  EXPECT_EQ(s.accepted, 4);
+  EXPECT_EQ(s.rejected, 2);
+  EXPECT_EQ(s.rejected_queue_depth, 1);
+  EXPECT_EQ(s.rejected_backlog, 1);
+  EXPECT_EQ(s.rejected, s.rejected_queue_depth + s.rejected_backlog);
+  EXPECT_EQ(s.submitted, s.accepted + s.rejected);
+  EXPECT_EQ(s.completed, 4);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.queued, 0);
+  EXPECT_EQ(s.running, 0);
+
+  // The cache counters mirrored into ServiceStats match the cache itself.
+  const auto cs = svc.cache_stats();
+  EXPECT_EQ(s.cache_hits, cs.hits);
+  EXPECT_EQ(s.cache_misses, cs.misses);
+  EXPECT_EQ(s.cache_evictions, cs.evictions);
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.cache_misses, 2);
+  EXPECT_EQ(s.cache_evictions, 1) << "the second factor must evict the first";
+  EXPECT_EQ(cs.entries, 1);
+
+  // The metrics registry tells the same story as ServiceStats.
+  EXPECT_EQ(metrics.counter("serve.submitted"), s.submitted);
+  EXPECT_EQ(metrics.counter("serve.accepted"), s.accepted);
+  EXPECT_EQ(metrics.counter("serve.rejected.queue_depth"),
+            s.rejected_queue_depth);
+  EXPECT_EQ(metrics.counter("serve.rejected.backlog"), s.rejected_backlog);
+  EXPECT_EQ(metrics.counter("serve.cache.hits"), s.cache_hits);
+  EXPECT_EQ(metrics.counter("serve.cache.misses"), s.cache_misses);
+  EXPECT_DOUBLE_EQ(metrics.gauge("serve.cache.evictions"),
+                   static_cast<double>(s.cache_evictions));
+  EXPECT_EQ(metrics.histogram("serve.queue_wait_ms").count, s.completed)
+      << "every dispatched job observes its queue wait exactly once";
+  EXPECT_GT(metrics.gauge("serve.tenant.default.dispatched_ms"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("serve.queue_depth"), 0.0);
+}

@@ -38,8 +38,11 @@
 #include "bench_util.hpp"
 #include "blas/generate.hpp"
 #include "core/adaptive_lsq.hpp"
+#include "core/batched_lsq.hpp"
+#include "core/dag_solve.hpp"
 #include "core/least_squares.hpp"
 #include "core/refinement.hpp"
+#include "device/dag.hpp"
 #include "md/simd/dispatch.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
@@ -67,6 +70,13 @@ struct CaseResult {
   // case key in check_bench) and forced-scalar wall / forced-ISA wall.
   std::string isa;
   double simd_speedup = 0;
+  // DAG cases only (dagsolve/hetbatch): fork-join wall / DAG-schedule
+  // wall, and the machine-independent dry-run ratio serialized modeled
+  // schedule / modeled DAG makespan.  Cases carrying these emit
+  // "speedup":0.0 (the servehit precedent) so only --min-dag-speedup
+  // gates them, not the relative threading-ratio fence.
+  double dag_speedup = 0;
+  double makespan_ratio = 0;
   double speedup() const { return par_wall_ms > 0 ? seq_wall_ms / par_wall_ms : 0; }
 };
 
@@ -252,6 +262,170 @@ CaseResult layout_case(int m, int c, int solves, int tile) {
   return r;
 }
 
+// Event-driven DAG schedule vs fork-join barriers (DESIGN.md §13): the
+// batched factor-reusing correction-solve workload — `solves`
+// independent three-launch chains (residual upload, Q^H r, triangular
+// solve) against one resident factorization.  Fork-join barriers every
+// launch; the DAG run puts all chains in one task graph and drains them
+// with `width` lanes, overlapping chain k+1's upload with chain k's
+// kernels.  Results must be limb-identical (disjoint output slots,
+// fixed in-task reduction order) and the modeled schedule is
+// declaration-driven, hence policy-independent.  dag_speedup is the
+// measured wall ratio; makespan_ratio prices the same graph dry —
+// machine-independent, gated > 1 on any host.
+template <class T>
+CaseResult dagsolve_case(int m, int c, int solves, int tile,
+                         util::ThreadPool& pool, int width) {
+  std::mt19937_64 gen(0x5eed7 + m);
+  auto q = blas::random_matrix<T>(m, m, gen);
+  auto rtop_full = bench_triangular<T>(c, gen);
+  blas::Matrix<T> rtop(c, c);  // upper triangle only, zeros below
+  for (int i = 0; i < c; ++i)
+    for (int j = i; j < c; ++j) rtop(i, j) = rtop_full(i, j);
+  std::vector<blas::Vector<T>> residuals;
+  for (int s = 0; s < solves; ++s)
+    residuals.push_back(blas::random_vector<T>(m, gen));
+
+  // Fork-join: each chain's launches barrier before the next chain.
+  auto fdev = make_dev<T>();
+  auto fq = fdev.stage(q);
+  auto frt = fdev.stage(rtop);
+  const double t0 = now_ms();
+  auto xf = core::batch_correction_solves<T>(fdev, fq, frt, residuals, m,
+                                             c, tile);
+  const double t1 = now_ms();
+
+  // DAG: one graph of `solves` independent chains over `width` lanes.
+  auto ddev = make_dev<T>();
+  auto dq = ddev.stage(q);
+  auto drt = ddev.stage(rtop);
+  core::DagSolveOptions dopt;
+  dopt.schedule = core::SchedulePolicy::dag;
+  dopt.lanes = width;
+  dopt.pool = &pool;
+  const double t2 = now_ms();
+  auto xd = core::batch_correction_solves<T>(ddev, dq, drt, residuals, m,
+                                             c, tile, dopt);
+  const double t3 = now_ms();
+
+  CaseResult r{"dagsolve", md::name_of(fdev.precision()), m, c, tile,
+               fdev.kernel_ms(), t1 - t0, t3 - t2};
+  r.dag_speedup = r.speedup();
+  device::Device dry(device::volta_v100(), fdev.precision(),
+                     device::ExecMode::dry_run);
+  const auto ms =
+      core::batch_correction_solves_dry<T>(dry, solves, m, c, tile, width);
+  r.makespan_ratio =
+      ms.makespan_ms > 0 ? ms.serialized_ms / ms.makespan_ms : 0;
+  r.tally_ok = tallies_exact(fdev) && tallies_exact(ddev) &&
+               fdev.kernel_ms() == ddev.kernel_ms();
+  for (int s = 0; s < solves && r.identical; ++s)
+    for (int j = 0; j < c; ++j)
+      if (!blas::bit_identical(xf[std::size_t(s)][std::size_t(j)],
+                               xd[std::size_t(s)][std::size_t(j)])) {
+        r.identical = false;
+        break;
+      }
+  return r;
+}
+
+// Heterogeneous batched least squares under the DAG scheduler
+// (DESIGN.md §13): a mixed-size batch over a V100 + RTX 2080 pool, run
+// with the fixed fork-join sharding and again as a coarse task graph
+// (stage-in -> solve -> stage-out per problem) whose workers STEAL
+// across pool slots when their home queue drains.  Per-problem results
+// are limb-identical (same shard assignment, one thread per problem
+// either way); the makespan ratio prices the graph's overlap across the
+// pool's lanes against the serialized schedule.
+template <class T>
+CaseResult hetbatch_case(int problems, int rows, int cols, int tile,
+                         int width) {
+  std::mt19937_64 gen(0x5eed8 + rows);
+  std::vector<core::BatchProblem<T>> batch;
+  for (int i = 0; i < problems; ++i) {
+    const int m = rows + 4 * (i % 5);  // mixed sizes: real imbalance
+    batch.push_back(core::BatchProblem<T>::functional(
+        blas::random_matrix<T>(m, cols, gen),
+        blas::random_vector<T>(m, gen)));
+  }
+  core::DevicePool pool;
+  pool.slots = {&device::volta_v100(), &device::geforce_rtx2080()};
+
+  core::BatchedLsqOptions opt;
+  opt.tile = tile;
+  opt.threads = width;
+  const double t0 = now_ms();
+  auto rf = core::batched_least_squares<T>(pool, batch, opt);
+  const double t1 = now_ms();
+
+  core::BatchedLsqOptions dopt = opt;
+  dopt.schedule = core::SchedulePolicy::dag;
+  const double t2 = now_ms();
+  auto rd = core::batched_least_squares<T>(pool, batch, dopt);
+  const double t3 = now_ms();
+
+  double kernel_ms = 0;
+  for (const auto& p : rf.problems) kernel_ms += p.kernel_ms;
+  CaseResult r{"hetbatch", md::name_of(md::Precision(
+                               blas::scalar_traits<T>::limbs)),
+               rows, cols, tile, kernel_ms, t1 - t0, t3 - t2};
+  r.dag_speedup = r.speedup();
+
+  // Dry pricing of the same coarse graph over the pool's lanes: the
+  // modeled wall of each problem (from the fork-join run — declaration-
+  // driven, policy-independent) split into its stage-in / compute /
+  // stage-out nodes, exactly as the dag route builds them.
+  device::TaskGraph g;
+  for (int s = 0; s < pool.size(); ++s) {
+    const device::DeviceSpec& spec = *pool.slots[std::size_t(s)];
+    for (int i : rf.shards[std::size_t(s)]) {
+      const auto& p = batch[std::size_t(i)];
+      const double in_ms = device::transfer_time_ms(
+          spec, device::Device::staging_bytes<T>(p.m(), p.c()) +
+                    device::Device::staging_bytes<T>(p.m(), 1));
+      const double out_ms = device::transfer_time_ms(
+          spec, device::Device::staging_bytes<T>(p.c(), 1) +
+                    device::Device::staging_bytes<T>(p.m(), p.m()) +
+                    device::Device::staging_bytes<T>(p.m(), p.c()));
+      device::TaskNode tin;
+      tin.kind = device::TaskKind::transfer;
+      tin.device = s;
+      tin.modeled_ms = in_ms;
+      const int id_in = g.add(std::move(tin));
+      device::TaskNode comp;
+      comp.device = s;
+      comp.modeled_ms = std::max(
+          0.0, rf.problems[std::size_t(i)].wall_ms - in_ms - out_ms);
+      comp.deps = {id_in};
+      const int id_comp = g.add(std::move(comp));
+      device::TaskNode tout;
+      tout.kind = device::TaskKind::transfer;
+      tout.device = s;
+      tout.modeled_ms = out_ms;
+      tout.deps = {id_comp};
+      g.add(std::move(tout));
+    }
+  }
+  const auto ms = device::dag_makespan(g, {pool.size(), 1});
+  r.makespan_ratio =
+      ms.makespan_ms > 0 ? ms.serialized_ms / ms.makespan_ms : 0;
+
+  r.tally_ok = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& pf = rf.problems[i];
+    const auto& pd = rd.problems[i];
+    if (!(pf.measured == pf.analytic) || !(pd.measured == pd.analytic))
+      r.tally_ok = false;
+    if (pf.x.size() != pd.x.size()) {
+      r.identical = false;
+      continue;
+    }
+    for (std::size_t j = 0; j < pf.x.size() && r.identical; ++j)
+      if (!blas::bit_identical(pf.x[j], pd.x[j])) r.identical = false;
+  }
+  return r;
+}
+
 // Explicit-SIMD ablation (DESIGN.md §9): the identical sequential
 // double-double QR run twice, once with the kernel table forced to the
 // scalar fallback and once forced to `isa`.  Both runs route through the
@@ -417,6 +591,13 @@ int main(int argc, char** argv) {
   // the staged_speedup ratio the gate locks in (DESIGN.md §8).
   cases.push_back(layout_case<md::dd_real>(320, 8, 448, 8));
   cases.push_back(layout_case<md::qd_real>(288, 8, 160, 8));
+  // Event-driven DAG vs fork-join (DESIGN.md §13): the batched
+  // correction-solve chains on one device, and the coarse heterogeneous
+  // batch over a V100 + RTX 2080 pool.  seq wall = fork-join, par wall =
+  // DAG; dag_speedup is their ratio and makespan_ratio the
+  // machine-independent dry-run price the gate requires above 1.
+  cases.push_back(dagsolve_case<md::dd_real>(320, 8, 448, 8, pool, width));
+  cases.push_back(hetbatch_case<md::dd_real>(10, 40, 16, 8, width));
   // Explicit-SIMD ablation, one case per vector tier this host can run
   // (scalar-vs-scalar would be a tautology): forced-scalar vs forced-ISA
   // sequential d2 QR, sized so the scalar wall clears the gate's
@@ -462,13 +643,17 @@ int main(int argc, char** argv) {
                  "\"tally_conserved\":%s",
                  i ? "," : "", c.kind.c_str(), c.precision.c_str(), c.rows,
                  c.cols, c.tile, c.modeled_kernel_ms, c.seq_wall_ms,
-                 c.par_wall_ms, c.speedup(), c.identical ? "true" : "false",
+                 c.par_wall_ms, c.dag_speedup > 0 ? 0.0 : c.speedup(),
+                 c.identical ? "true" : "false",
                  c.tally_ok ? "true" : "false");
     if (c.staged_speedup > 0)
       std::fprintf(f, ",\"staged_speedup\":%.3f", c.staged_speedup);
     if (!c.isa.empty())
       std::fprintf(f, ",\"isa\":\"%s\",\"simd_speedup\":%.3f", c.isa.c_str(),
                    c.simd_speedup);
+    if (c.dag_speedup > 0)
+      std::fprintf(f, ",\"dag_speedup\":%.3f,\"makespan_ratio\":%.3f",
+                   c.dag_speedup, c.makespan_ratio);
     std::fprintf(f, "}");
   }
   std::fprintf(f, "]}\n");

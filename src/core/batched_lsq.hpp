@@ -39,6 +39,7 @@
 #include "core/back_substitution.hpp"
 #include "core/least_squares.hpp"
 #include "core/solve_options.hpp"
+#include "device/dag_scheduler.hpp"
 #include "device/device_spec.hpp"
 #include "device/launch.hpp"
 #include "util/batch_report.hpp"
@@ -163,6 +164,8 @@ struct BatchedLsqResult {
   std::vector<BatchedProblemResult<T>> problems;  // indexed by problem id
   std::vector<std::vector<int>> shards;           // pool slot -> problem ids
   util::BatchReport report;
+  // SchedulePolicy::dag only: tasks executed and cross-slot steals.
+  device::DagRunStats dag_stats;
 };
 
 namespace detail {
@@ -358,11 +361,20 @@ std::vector<std::vector<int>> shard_assignment(
     }
   }
 
+  // LPT sort key: a problem's WORST modeled time across the pool's specs.
+  // Sorting by slot 0's estimate alone misorders heterogeneous pools — a
+  // problem cheap on slot 0 but expensive on the slot it actually lands
+  // on would be placed late, after the greedy pass has already committed
+  // the balanced slots.
+  std::vector<double> worst(problems.size(), 0.0);
+  for (int s = 0; s < d; ++s)
+    for (std::size_t i = 0; i < problems.size(); ++i)
+      worst[i] = std::max(worst[i], est[static_cast<std::size_t>(s)][i]);
   std::vector<int> order(problems.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return est[0][static_cast<std::size_t>(a)] >
-           est[0][static_cast<std::size_t>(b)];
+    return worst[static_cast<std::size_t>(a)] >
+           worst[static_cast<std::size_t>(b)];
   });
 
   std::vector<double> load(static_cast<std::size_t>(d), 0.0);
@@ -415,16 +427,92 @@ BatchedLsqResult<T> batched_least_squares(
         tile_pool = &*owned_pool;
       }
     }
-    util::ThreadPool workers(width);
-    for (int s = 0; s < d; ++s) {
-      workers.submit([&, s] {
+    if (opt.schedule == SchedulePolicy::dag) {
+      if (opt.pipeline == BatchPipeline::adaptive)
+        throw std::invalid_argument(
+            "mdlsq: SchedulePolicy::dag batches run the direct pipeline "
+            "only (the ladder's escalation loop is inherently sequential "
+            "per problem)");
+      // Coarse-grained task graph over the pool (DESIGN.md §13): per
+      // problem a stage-in transfer node, a compute node (the full
+      // per-problem pipeline on its own fresh Device), and a stage-out
+      // node, all pinned to the problem's assigned slot.  Workers drain
+      // their home slot's ready queue in worst-modeled-time-first order
+      // and STEAL from other slots when it runs dry — so a shard that
+      // finishes early absorbs the backlog of a slow (or slow-spec) one,
+      // which the fixed fork-join sharding cannot do.  Each problem still
+      // runs on one thread against its own Device, so results and
+      // per-problem tallies are bit-identical to the fork-join route.
+      std::vector<int> slot_of(problems.size(), 0);
+      for (int s = 0; s < d; ++s)
         for (int i : out.shards[static_cast<std::size_t>(s)])
-          out.problems[static_cast<std::size_t>(i)] = detail::solve_one<T>(
-              *pool.slots[static_cast<std::size_t>(s)], s, i,
-              problems[static_cast<std::size_t>(i)], opt, tile_pool);
-      });
+          slot_of[static_cast<std::size_t>(i)] = s;
+      device::TaskGraph g;
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        const int s = slot_of[i];
+        const device::DeviceSpec& spec =
+            *pool.slots[static_cast<std::size_t>(s)];
+        const BatchProblem<T>& p = problems[i];
+        const std::int64_t in_bytes =
+            device::Device::staging_bytes<T>(p.m(), p.c()) +
+            device::Device::staging_bytes<T>(p.m(), 1);
+        const std::int64_t out_bytes =
+            device::Device::staging_bytes<T>(p.c(), 1) +
+            device::Device::staging_bytes<T>(p.m(), p.m()) +
+            device::Device::staging_bytes<T>(p.m(), p.c());
+        const double in_ms = device::transfer_time_ms(spec, in_bytes);
+        const double out_ms = device::transfer_time_ms(spec, out_bytes);
+        const double wall = detail::modeled_wall_ms<T>(spec, p, opt);
+
+        device::TaskNode tin;
+        tin.label = "stage in p" + std::to_string(i);
+        tin.kind = device::TaskKind::transfer;
+        tin.device = s;
+        tin.modeled_ms = in_ms;
+        const int id_in = g.add(std::move(tin));
+
+        device::TaskNode comp;
+        comp.label = "solve p" + std::to_string(i);
+        comp.kind = device::TaskKind::kernel;
+        comp.device = s;
+        comp.modeled_ms = std::max(0.0, wall - in_ms - out_ms);
+        comp.deps = {id_in};
+        comp.body = [&out, &pool, &problems, &opt, tile_pool, i, s] {
+          out.problems[i] = detail::solve_one<T>(
+              *pool.slots[static_cast<std::size_t>(s)], s,
+              static_cast<int>(i), problems[i], opt, tile_pool);
+        };
+        const int id_comp = g.add(std::move(comp));
+
+        device::TaskNode tout;
+        tout.label = "stage out p" + std::to_string(i);
+        tout.kind = device::TaskKind::transfer;
+        tout.device = s;
+        tout.modeled_ms = out_ms;
+        tout.deps = {id_comp};
+        g.add(std::move(tout));
+      }
+      std::optional<util::ThreadPool> dag_helpers;
+      device::DagRunOptions ro;
+      ro.width = width;
+      ro.devices = d;
+      if (width > 1) {
+        dag_helpers.emplace(width - 1);
+        ro.pool = &*dag_helpers;
+      }
+      out.dag_stats = device::run_graph(g, ro);
+    } else {
+      util::ThreadPool workers(width);
+      for (int s = 0; s < d; ++s) {
+        workers.submit([&, s] {
+          for (int i : out.shards[static_cast<std::size_t>(s)])
+            out.problems[static_cast<std::size_t>(i)] = detail::solve_one<T>(
+                *pool.slots[static_cast<std::size_t>(s)], s, i,
+                problems[static_cast<std::size_t>(i)], opt, tile_pool);
+        });
+      }
+      workers.wait();
     }
-    workers.wait();
   }
 
   util::BatchReport& rep = out.report;

@@ -40,6 +40,16 @@ class ThreadPool;
 
 namespace mdlsq::core {
 
+// How a staged driver turns its launch schedule into host execution:
+//   fork_join — every launch is a barrier: its tiled tasks fan out over
+//     the pool and join before the next launch issues (DESIGN.md §5);
+//   dag — launches become nodes of a device::TaskGraph with explicit
+//     event edges and run event-driven (per-device ready queues, work
+//     stealing, no wave barriers — DESIGN.md §13).  Results stay
+//     bit-identical to fork_join and sequential, and measured == analytic
+//     tallies hold, by construction.
+enum class SchedulePolicy { fork_join, dag };
+
 struct ExecOptions {
   // Host execution engine width (DESIGN.md §5): tiled kernel bodies run
   // as up to `parallelism` concurrent tasks.  Bit-identical at any width.
@@ -49,6 +59,9 @@ struct ExecOptions {
   // Explicit precision-ladder rung sequence; empty means the default
   // doubling ladder.  Validation semantics are core::resolve_rungs'.
   std::vector<int> rungs;
+  // Launch schedule execution policy (DESIGN.md §13).  Drivers that have
+  // not grown a DAG route yet reject `dag` with std::invalid_argument.
+  SchedulePolicy schedule = SchedulePolicy::fork_join;
 };
 
 }  // namespace mdlsq::core

@@ -1,0 +1,414 @@
+// Event-driven execution of a TaskGraph (DESIGN.md §13) on the existing
+// util::ThreadPool: per-device ready queues ordered by critical-path
+// rank, work stealing between DevicePool shards, and condition-variable
+// wakeups — no barrier between waves, a node runs the moment its last
+// dependency completes and a worker is free.
+//
+// The run changes NOTHING about results or accounting relative to the
+// fork-join walk of the same launches:
+//   * bodies write disjoint state (the graph builders encode every true
+//     dependency as an edge), so any completion order leaves the same
+//     bits;
+//   * each node's multiple-double ops are counted into a private tally,
+//     and after the join the tallies are folded into their Device stages
+//     in node-id (= declaration/program) order — the same order
+//     launch_tiled sums per-task tallies — so measured == analytic
+//     exactly;
+//   * all declared bookkeeping already happened at build time
+//     (Device::declare_deferred), single-threaded, in program order.
+//
+// Error discipline mirrors util::run_tasks: each node's exception is
+// captured, later bodies are skipped (their nodes still "complete" so the
+// graph drains), and after the join the LOWEST-node-id exception is
+// rethrown — deterministic even when several tasks fail concurrently.
+//
+// Instrumentation (obs, Cat::sched): per-node execution spans carrying
+// the modeled price, "dag wait" spans from ready-time to start (queue
+// latency), instant "dag steal" markers, and one "dag occupancy" span per
+// device shard summarizing its busy time over the run.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <latch>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "device/dag.hpp"
+#include "device/launch.hpp"
+#include "md/op_counts.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mdlsq::device {
+
+struct DagRunOptions {
+  util::ThreadPool* pool = nullptr;  // helper workers (caller always works)
+  int width = 1;                     // concurrent workers incl. the caller
+  int devices = 1;                   // ready-queue shards (DevicePool slots)
+  // Test hook: called before a node's body on its executing worker.  The
+  // determinism stress test injects randomized sleeps here to scramble
+  // completion order.
+  std::function<void(int node, int worker)> delay_hook;
+};
+
+struct DagRunStats {
+  std::int64_t executed = 0;
+  std::int64_t steals = 0;  // nodes taken from a non-home device queue
+
+  DagRunStats& operator+=(const DagRunStats& o) noexcept {
+    executed += o.executed;
+    steals += o.steals;
+    return *this;
+  }
+};
+
+namespace detail {
+
+// Shared state of one run_graph() call.  All mutation of the scheduling
+// structures happens under `mu`; bodies run outside it.
+struct DagRunState {
+  explicit DagRunState(TaskGraph& graph, const DagRunOptions& options)
+      : g(graph), opt(options) {
+    const int n = g.size();
+    const std::size_t un = static_cast<std::size_t>(n);
+    rank = critical_ranks(g);
+    indeg.resize(un);
+    succ.resize(un);
+    tallies.resize(un);
+    errs.resize(un);
+    ready_ns.assign(un, 0);
+    const int shards = std::max(1, opt.devices);
+    queues.resize(static_cast<std::size_t>(shards));
+    busy_ns.assign(static_cast<std::size_t>(shards), 0);
+    remaining = n;
+    const bool traced = obs::current_session() != nullptr;
+    const std::int64_t t0 = traced ? obs::now_ns() : 0;
+    for (int i = 0; i < n; ++i) {
+      const TaskNode& nd = g.nodes()[static_cast<std::size_t>(i)];
+      indeg[static_cast<std::size_t>(i)] = static_cast<int>(nd.deps.size());
+      for (const int d : nd.deps) succ[static_cast<std::size_t>(d)].push_back(i);
+      if (nd.deps.empty()) {
+        ready_ns[static_cast<std::size_t>(i)] = t0;
+        push_ready(i);
+      }
+    }
+  }
+
+  int shard_of(int node) const noexcept {
+    return g.nodes()[static_cast<std::size_t>(node)].device %
+           static_cast<int>(queues.size());
+  }
+
+  // Ready queues are kept sorted worst-rank-last so pop_back() yields the
+  // most critical node; ties break toward the LOWEST id (program order).
+  void push_ready(int node) {
+    auto& q = queues[static_cast<std::size_t>(shard_of(node))];
+    const double r = rank[static_cast<std::size_t>(node)];
+    auto it = std::lower_bound(
+        q.begin(), q.end(), node, [&](int a, int b) {
+          const double ra = rank[static_cast<std::size_t>(a)];
+          const double rb = rank[static_cast<std::size_t>(b)];
+          if (ra != rb) return ra < rb;
+          return a > b;
+        });
+    (void)r;
+    q.insert(it, node);
+  }
+
+  // Home queue first, then a deterministic steal scan over the others.
+  int pop_task(int worker, bool* stolen) {
+    const int shards = static_cast<int>(queues.size());
+    const int home = worker % shards;
+    for (int k = 0; k < shards; ++k) {
+      auto& q = queues[static_cast<std::size_t>((home + k) % shards)];
+      if (!q.empty()) {
+        const int id = q.back();
+        q.pop_back();
+        *stolen = k != 0;
+        return id;
+      }
+    }
+    *stolen = false;
+    return -1;
+  }
+
+  TaskGraph& g;
+  const DagRunOptions& opt;
+  std::vector<double> rank;
+  std::vector<int> indeg;
+  std::vector<std::vector<int>> succ;
+  std::vector<std::vector<int>> queues;  // per-shard ready lists
+  std::vector<md::OpTally> tallies;
+  std::vector<std::exception_ptr> errs;
+  std::vector<std::int64_t> ready_ns;  // when the node became ready (traced)
+  std::vector<std::int64_t> busy_ns;   // per-shard execution time
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 0;
+  std::atomic<bool> failed{false};
+  std::atomic<std::int64_t> steals{0};
+};
+
+inline void dag_worker(DagRunState& st, int worker) {
+  std::unique_lock<std::mutex> lk(st.mu);
+  for (;;) {
+    if (st.remaining == 0) return;
+    bool stolen = false;
+    const int id = st.pop_task(worker, &stolen);
+    if (id < 0) {
+      st.cv.wait(lk);
+      continue;
+    }
+    lk.unlock();
+
+    TaskNode& nd = st.g.nodes()[static_cast<std::size_t>(id)];
+    const bool traced = obs::current_session() != nullptr;
+    std::int64_t t_start = 0;
+    if (traced) {
+      t_start = obs::now_ns();
+      if (stolen)
+        obs::emit_span("dag steal", obs::Cat::sched, t_start, t_start);
+      const std::int64_t r = st.ready_ns[static_cast<std::size_t>(id)];
+      if (r > 0 && t_start > r)
+        obs::emit_span("dag wait", obs::Cat::sched, r, t_start);
+    }
+    if (stolen) st.steals.fetch_add(1, std::memory_order_relaxed);
+    if (st.opt.delay_hook) st.opt.delay_hook(id, worker);
+    {
+      obs::Span span(nd.label, obs::Cat::sched);
+      span.set_modeled_ms(nd.modeled_ms);
+      if (nd.body && !st.failed.load(std::memory_order_relaxed)) {
+        try {
+          md::ScopedTally scope(st.tallies[static_cast<std::size_t>(id)]);
+          nd.body();
+        } catch (...) {
+          st.errs[static_cast<std::size_t>(id)] = std::current_exception();
+          st.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    const std::int64_t t_end = traced ? obs::now_ns() : 0;
+
+    lk.lock();
+    if (traced)
+      st.busy_ns[static_cast<std::size_t>(st.shard_of(id))] += t_end - t_start;
+    --st.remaining;
+    bool woke = st.remaining == 0;
+    for (const int s : st.succ[static_cast<std::size_t>(id)]) {
+      auto& deg = st.indeg[static_cast<std::size_t>(s)];
+      if (--deg == 0) {
+        if (traced) st.ready_ns[static_cast<std::size_t>(s)] = t_end;
+        st.push_ready(s);
+        woke = true;
+      }
+    }
+    if (woke) st.cv.notify_all();
+  }
+}
+
+}  // namespace detail
+
+// Executes every node of `g`, honoring its edges, then folds the per-node
+// measured tallies into their Device stages in node-id order.  The caller
+// thread participates as worker 0; up to width-1 pool workers join it.
+// With no pool (or width <= 1) the graph still runs — single-threaded, in
+// ready order — so the DAG path degrades gracefully on 1-core hosts.
+inline DagRunStats run_graph(TaskGraph& g, const DagRunOptions& opt = {}) {
+  DagRunStats out;
+  if (g.empty()) return out;
+  detail::DagRunState st(g, opt);
+
+  const int helpers =
+      opt.pool != nullptr && opt.width > 1
+          ? std::min(opt.width - 1, static_cast<int>(opt.pool->size()))
+          : 0;
+  const std::int64_t run_start =
+      obs::current_session() != nullptr ? obs::now_ns() : 0;
+  if (helpers > 0) {
+    std::latch joined(helpers);
+    std::exception_ptr infra_err;
+    std::mutex infra_mu;
+    for (int h = 0; h < helpers; ++h) {
+      opt.pool->submit([&st, &joined, &infra_err, &infra_mu, h] {
+        try {
+          detail::dag_worker(st, h + 1);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(infra_mu);
+          if (!infra_err) infra_err = std::current_exception();
+        }
+        joined.count_down();
+      });
+    }
+    detail::dag_worker(st, 0);
+    joined.wait();
+    if (infra_err) std::rethrow_exception(infra_err);
+  } else {
+    detail::dag_worker(st, 0);
+  }
+
+  // Deterministic error report: the lowest-id failure wins.
+  for (const auto& e : st.errs)
+    if (e) std::rethrow_exception(e);
+
+  // Fold measured tallies in node-id (= program) order.
+  for (int i = 0; i < g.size(); ++i) {
+    TaskNode& nd = g.nodes()[static_cast<std::size_t>(i)];
+    if (nd.dev != nullptr && nd.stage_index >= 0)
+      nd.dev->record_measured(nd.stage_index,
+                              st.tallies[static_cast<std::size_t>(i)]);
+  }
+
+  if (run_start > 0) {
+    const std::int64_t run_end = obs::now_ns();
+    for (std::size_t d = 0; d < st.busy_ns.size(); ++d)
+      obs::emit_span("dag occupancy d" + std::to_string(d), obs::Cat::sched,
+                     run_start, run_end, 0,
+                     static_cast<double>(st.busy_ns[d]) / 1e6);
+  }
+
+  out.executed = g.size();
+  out.steals = st.steals.load(std::memory_order_relaxed);
+  return out;
+}
+
+// The deferring executor: the same driver code that runs fork-join under
+// DirectExec builds a TaskGraph here.  Every launch is DECLARED
+// immediately (stage stats, analytic tally, modeled ms — program order,
+// one thread, bit-identical bookkeeping to fork-join) while the body
+// becomes a task node; run() executes the accumulated graph event-driven.
+//
+// Phases: a driver calls run() where its fork-join twin would have
+// completed all launches (end of the QR factorization, end of the finish
+// pipeline).  Functionally that executes and clears the graph — the
+// driver's scratch buffers are still alive, since run() happens inside
+// it.  In dry-run mode nothing executes: run() inserts a zero-cost
+// barrier node instead, so the graph keeps accumulating the whole
+// pipeline's schedule across phases and the caller prices its makespan
+// with dag_makespan() at the end.
+class GraphExec {
+ public:
+  explicit GraphExec(int device = 0) : device_(device) {}
+
+  // Scheduling knobs for run(); pool/width default to the Device's
+  // attached engine when left null.
+  DagRunOptions run_options;
+
+  template <class F>
+  Wave launch(Device& dev, std::string_view stage, int blocks, int threads,
+              const md::OpTally& ops, std::int64_t bytes,
+              const md::OpTally& serial, std::initializer_list<Wave> deps,
+              F&& body) {
+    const Device::DeferredLaunch d =
+        dev.declare_deferred(stage, blocks, threads, ops, bytes, serial);
+    TaskNode n;
+    n.label = std::string(stage);
+    n.kind = TaskKind::kernel;
+    n.device = device_;
+    n.modeled_ms = d.kernel_ms;
+    n.stage_index = d.stage_index;
+    n.dev = &dev;
+    collect(n.deps, deps);
+    if (dev.functional()) n.body = [f = std::forward<F>(body)] { f(); };
+    const int id = graph_.add(std::move(n));
+    return {id, id + 1};
+  }
+
+  template <class F>
+  Wave launch_tiled(Device& dev, std::string_view stage, int blocks,
+                    int threads, const md::OpTally& ops, std::int64_t bytes,
+                    const md::OpTally& serial, int ntasks,
+                    std::initializer_list<Wave> deps, F&& body) {
+    const Device::DeferredLaunch d =
+        dev.declare_deferred(stage, blocks, threads, ops, bytes, serial);
+    std::vector<int> shared;
+    collect(shared, deps);
+    const bool fn = dev.functional();
+    const int begin = graph_.size();
+    for (int t = 0; t < ntasks; ++t) {
+      TaskNode n;
+      n.label = std::string(stage);
+      n.kind = TaskKind::kernel;
+      n.device = device_;
+      n.modeled_ms = d.kernel_ms / ntasks;
+      n.stage_index = d.stage_index;
+      n.dev = &dev;
+      n.deps = shared;
+      if (fn) n.body = [body, t] { body(t); };
+      graph_.add(std::move(n));
+    }
+    return {begin, graph_.size()};
+  }
+
+  Wave host(Device& dev, std::string_view label,
+            std::initializer_list<Wave> deps, std::function<void()> body) {
+    TaskNode n;
+    n.label = std::string(label);
+    n.kind = TaskKind::host;
+    n.device = device_;
+    collect(n.deps, deps);
+    if (dev.functional()) n.body = std::move(body);
+    const int id = graph_.add(std::move(n));
+    return {id, id + 1};
+  }
+
+  Wave transfer_node(Device& dev, std::string_view label, std::int64_t bytes,
+                     std::initializer_list<Wave> deps,
+                     std::function<void()> body = {}) {
+    dev.transfer(bytes);  // wall-clock bookkeeping, identical to fork-join
+    TaskNode n;
+    n.label = std::string(label);
+    n.kind = TaskKind::transfer;
+    n.device = device_;
+    n.modeled_ms = dev.transfer_ms(bytes);
+    collect(n.deps, deps);
+    if (dev.functional()) n.body = std::move(body);
+    const int id = graph_.add(std::move(n));
+    return {id, id + 1};
+  }
+
+  void run(Device& dev) {
+    if (graph_.empty()) return;
+    if (dev.functional()) {
+      DagRunOptions o = run_options;
+      if (o.pool == nullptr) {
+        o.pool = dev.task_pool();
+        o.width = dev.parallelism();
+      }
+      stats_ += run_graph(graph_, o);
+      graph_.clear();
+      barrier_ = -1;
+    } else {
+      // Dry run: keep accumulating; later nodes order after this phase.
+      TaskNode b;
+      b.label = "phase barrier";
+      b.kind = TaskKind::host;
+      b.device = device_;
+      b.deps = graph_.sinks();
+      barrier_ = graph_.add(std::move(b));
+    }
+  }
+
+  const TaskGraph& graph() const noexcept { return graph_; }
+  DagRunStats stats() const noexcept { return stats_; }
+
+ private:
+  void collect(std::vector<int>& out, std::initializer_list<Wave> deps) const {
+    if (barrier_ >= 0) out.push_back(barrier_);
+    TaskGraph::collect(out, deps);
+  }
+
+  TaskGraph graph_;
+  DagRunStats stats_;
+  int device_ = 0;
+  int barrier_ = -1;
+};
+
+}  // namespace mdlsq::device

@@ -44,7 +44,7 @@ namespace mdlsq::obs {
 // Span categories — the rows of the timeline.  One per architectural
 // layer: kernel/transfer/panel come from device/ and core/, ladder from
 // the adaptive precision ladder, step from the path tracker, queue/cache/
-// service from the solver daemon.
+// service from the solver daemon, sched from the task-DAG scheduler.
 enum class Cat : std::uint8_t {
   kernel,
   transfer,
@@ -54,6 +54,7 @@ enum class Cat : std::uint8_t {
   queue,
   cache,
   service,
+  sched,
 };
 
 inline const char* name_of(Cat c) noexcept {
@@ -66,6 +67,7 @@ inline const char* name_of(Cat c) noexcept {
     case Cat::queue: return "queue";
     case Cat::cache: return "cache";
     case Cat::service: return "service";
+    case Cat::sched: return "sched";
   }
   return "?";
 }

@@ -49,6 +49,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -103,6 +104,17 @@ struct TrackOptions : core::ExecOptions {
   double refine_rate_threshold = 1e-2;
   PredictorKind predictor = PredictorKind::series;
   int pade_denominator = 1;  // denominator degree of the Padé predictor
+  // Reuse the previous accepted step's resident factorization (and its
+  // Taylor series) while the next step still fits inside the cached
+  // pole-radius trust region about the factorization point: the step
+  // then skips the recenter / factor / condition-estimate / series
+  // launches entirely and predicts from the CACHED series evaluated at
+  // the accumulated offset.  A corrector that stagnates on stale factors
+  // falls back to a fresh factorization transparently (the step is
+  // retried, not failed).  Off by default: reuse changes the launch
+  // schedule and — through the frozen factors — the corrected iterates,
+  // so the historical step-for-step replay stays the default.
+  bool reuse_factors = false;
   // Expected-schedule parameters of the dry-run pricing.
   int dry_steps = 8;
   int dry_corrector_iters = 2;
@@ -262,7 +274,28 @@ void launch_residual(device::Device& dev, int m, int tile, Body&& body) {
 enum class StepVerdict {
   accepted,        // step committed
   restart_higher,  // redo the whole step, factoring at restart_limbs
+  retry_fresh,     // cached factors went stale: redo with a fresh factor
   failed,          // step size collapsed or the ladder is exhausted
+};
+
+// Cross-step residency (TrackOptions::reuse_factors): the accepted step's
+// Toeplitz solver — whose staged factor copies stay device-resident — and
+// its Taylor series, type-erased so the cache survives the ladder's
+// precision dispatch.  `limbs` keys the stored precision (0 = empty); a
+// step only reuses a cache whose precision matches its first rung.
+struct FactorCache {
+  int limbs = 0;
+  double t_base = 0.0;       // parameter the factors were centered at
+  double pole_radius = 0.0;  // trust-region radius estimated at t_base
+  double cond = 0.0;         // condition estimate of the cached factors
+  std::shared_ptr<void> solver;  // BlockToeplitzSolver<mdreal<limbs>>
+  std::shared_ptr<void> series;  // vector<Vector<mdreal<limbs>>> at t_base
+
+  void clear() {
+    limbs = 0;
+    solver.reset();
+    series.reset();
+  }
 };
 
 struct StepOutcome {
@@ -410,7 +443,8 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
                         const Homotopy<md::mdreal<NH>>& h, double t0,
                         int maxl, const std::vector<int>& rungs,
                         blas::Vector<md::mdreal<NH>>& x_out,
-                        const TrackOptions& opt, StepStats& st) {
+                        const TrackOptions& opt, StepStats& st,
+                        FactorCache* cache = nullptr) {
   static_assert(L <= NH);
   using TL = md::mdreal<L>;
   const int m = h.dim();
@@ -420,35 +454,69 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
 
   util::RungStats rs;
   rs.precision = rs.device_precision = md::Precision(L);
-  rs.refactorized = true;
 
   device::Device dev(spec, md::Precision(L), device::ExecMode::functional);
   dev.set_parallelism(opt.tile_pool, opt.parallelism);
 
   const auto hl = narrow_homotopy<L, NH>(h);
 
-  // Recenter: Jacobian Taylor blocks + rhs series at t0.
-  std::vector<blas::Matrix<TL>> blocks;
-  std::vector<blas::Vector<TL>> bser;
-  launch_recenter<TL>(dev, m, aterms, bterms, orders, opt.tile, [&] {
-    blocks = hl.taylor_blocks(t0);
-    bser = hl.rhs_series(t0, orders);
-  });
+  // Factor reuse (TrackOptions::reuse_factors): when the cached
+  // factorization matches this rung's precision and t0 still sits inside
+  // its trust region with at least a minimum step of budget left, the
+  // recenter / factor / condition-estimate / series launches are skipped
+  // and the CACHED series predicts from the accumulated offset dt.
+  std::shared_ptr<core::BlockToeplitzSolver<TL>> solver;
+  std::shared_ptr<std::vector<blas::Vector<TL>>> series;
+  double dt = 0.0;
+  bool reused = false;
+  if (cache != nullptr && cache->limbs == L && cache->solver &&
+      cache->series && t0 >= cache->t_base) {
+    const double budget =
+        opt.step_factor * cache->pole_radius - (t0 - cache->t_base);
+    if (budget >= opt.min_step) {
+      solver = std::static_pointer_cast<core::BlockToeplitzSolver<TL>>(
+          cache->solver);
+      series = std::static_pointer_cast<std::vector<blas::Vector<TL>>>(
+          cache->series);
+      dt = t0 - cache->t_base;
+      reused = true;
+      rs.cond_estimate = cache->cond;
+      st.pole_radius = cache->pole_radius;
+    }
+  }
+  rs.refactorized = !reused;
 
-  // Factor the Jacobian through the blocked pipeline; estimate kappa.
-  core::BlockToeplitzSolver<TL> solver(dev, std::move(blocks), opt.tile);
-  blas::TriCondEstimate est;
-  core::detail::launch_cond_est(dev, m, opt.tile, 8 * std::int64_t(L), [&] {
-    est = blas::tri_condition_inf(solver.factors().r, m);
-  });
-  rs.cond_estimate = est.cond;
+  double hs;
+  if (!reused) {
+    // Recenter: Jacobian Taylor blocks + rhs series at t0.
+    std::vector<blas::Matrix<TL>> blocks;
+    std::vector<blas::Vector<TL>> bser;
+    launch_recenter<TL>(dev, m, aterms, bterms, orders, opt.tile, [&] {
+      blocks = hl.taylor_blocks(t0);
+      bser = hl.rhs_series(t0, orders);
+    });
 
-  // The Taylor series of the path at t0 (predictor coefficients).
-  const auto xs = solver.solve_on(dev, bser, opt.tile);
+    // Factor the Jacobian through the blocked pipeline; estimate kappa.
+    solver = std::make_shared<core::BlockToeplitzSolver<TL>>(
+        dev, std::move(blocks), opt.tile);
+    blas::TriCondEstimate est;
+    core::detail::launch_cond_est(dev, m, opt.tile, 8 * std::int64_t(L), [&] {
+      est = blas::tri_condition_inf(solver->factors().r, m);
+    });
+    rs.cond_estimate = est.cond;
 
-  // Step-size choice from the pole-radius estimate.
-  st.pole_radius = pole_radius_estimate(xs);
-  double hs = std::min(opt.step_factor * st.pole_radius, opt.max_step);
+    // The Taylor series of the path at t0 (predictor coefficients).
+    series = std::make_shared<std::vector<blas::Vector<TL>>>(
+        solver->solve_on(dev, bser, opt.tile));
+
+    // Step-size choice from the pole-radius estimate.
+    st.pole_radius = pole_radius_estimate(*series);
+    hs = std::min(opt.step_factor * st.pole_radius, opt.max_step);
+  } else {
+    // The cached trust region shrinks by the distance already traveled.
+    hs = std::min(opt.step_factor * cache->pole_radius - dt, opt.max_step);
+  }
+  const auto& xs = *series;
   hs = std::max(hs, opt.min_step);
   hs = std::min(hs, opt.t_end - t0);
 
@@ -466,12 +534,14 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
       // Predict x(t1) from the series (launched) or its Padé approximant
       // (host arithmetic, tallied like the ladder's acceptance work).
       obs::Span predict_span("predictor", obs::Cat::step, L);
+      // The series is centered at the FACTORIZATION point: t_base under
+      // reuse (dt > 0), t0 on a fresh step (dt == 0).
       if (opt.predictor == PredictorKind::series) {
         launch_predict<TL>(dev, m, orders, opt.tile,
-                           [&] { xp = horner_eval(xs, hs); });
+                           [&] { xp = horner_eval(xs, dt + hs); });
       } else {
         md::ScopedTally host_scope(rs.host_ops);
-        xp = pade_eval(xs, opt.pade_denominator, hs);
+        xp = pade_eval(xs, opt.pade_denominator, dt + hs);
       }
       // A(t1), b(t1) for the corrector.
       launch_eval_ab<TL>(dev, m, aterms, bterms, opt.tile, [&] {
@@ -527,7 +597,7 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
       }
       prev = eta;
 
-      auto dx = solver.solve_diag_on(dev, std::span<const TL>(r), opt.tile);
+      auto dx = solver->solve_diag_on(dev, std::span<const TL>(r), opt.tile);
       {
         md::ScopedTally host_scope(rs.host_ops);
         for (int j = 0; j < m; ++j)
@@ -557,18 +627,38 @@ StepOutcome run_step_at(const device::DeviceSpec& spec,
   const double cond = rs.cond_estimate;
   st.rungs.push_back(std::move(rs));
 
+  // An accepted FRESH step publishes its residency for the next step to
+  // reuse; an accepted reused step keeps the cache unchanged (same
+  // factors, same trust region).
+  const auto publish = [&] {
+    if (cache == nullptr || reused) return;
+    cache->limbs = L;
+    cache->t_base = t0;
+    cache->pole_radius = st.pole_radius;
+    cache->cond = cond;
+    cache->solver = solver;
+    cache->series = series;
+  };
+
   switch (exit) {
     case CorrectorExit::accepted:
       x_out = std::move(xw);
+      publish();
       return {StepVerdict::accepted, 0, L, hs};
     case CorrectorExit::floor: {
       // Precision-limited: climb the ladder on the cached factors.
-      StepOutcome out = escalate_ladder<L, NH>(spec, h, solver, t1, cond, hs,
+      StepOutcome out = escalate_ladder<L, NH>(spec, h, *solver, t1, cond, hs,
                                                maxl, rungs, xw, opt, st);
-      if (out.verdict == StepVerdict::accepted) x_out = std::move(xw);
+      if (out.verdict == StepVerdict::accepted) {
+        x_out = std::move(xw);
+        publish();
+      }
       return out;
     }
     case CorrectorExit::stagnated:
+      // Stale cached factors are a recoverable condition, not a step
+      // failure: signal the driver to refactorize at t0 and retry.
+      if (reused) return {StepVerdict::retry_fresh, 0, 0, 0.0};
       return {StepVerdict::failed, 0, 0, 0.0};
   }
   return {StepVerdict::failed, 0, 0, 0.0};
@@ -615,6 +705,10 @@ TrackResult<NH> track(const device::DeviceSpec& spec,
   double t = topt.t_start;
   int cur = rungs.front();  // first rung >= start_limbs of the sequence
   bool ok = true;
+  // Cross-step factor residency (reuse_factors); null disables reuse so
+  // run_step_at walks the historical per-step schedule untouched.
+  detail::FactorCache cache;
+  detail::FactorCache* cache_ptr = topt.reuse_factors ? &cache : nullptr;
 
   while (ok && t < topt.t_end - 1e-14 &&
          static_cast<int>(out.steps.size()) < topt.max_steps) {
@@ -629,13 +723,18 @@ TrackResult<NH> track(const device::DeviceSpec& spec,
         constexpr int L = decltype(tag)::limbs;
         if constexpr (L <= NH) {
           outcome = detail::run_step_at<L, NH>(spec, h, t, maxl, rungs, out.x,
-                                               topt, st);
+                                               topt, st, cache_ptr);
         }
       });
       if (outcome.verdict == detail::StepVerdict::restart_higher &&
           outcome.restart_limbs <= maxl && outcome.restart_limbs > cur) {
         cur = outcome.restart_limbs;
+        cache.clear();  // the cache's precision is below the restart rung
         continue;  // redo the step, factoring at the escalated precision
+      }
+      if (outcome.verdict == detail::StepVerdict::retry_fresh) {
+        cache.clear();  // stale residency: refactorize at this t
+        continue;
       }
       break;
     }
